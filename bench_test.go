@@ -1,0 +1,495 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section 6) at bench scale. Each benchmark reports the relevant headline
+// number as a custom metric (speedup, gmean, overhead) in addition to
+// wall-clock cost, so `go test -bench` doubles as a results harness.
+package sam_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sam/internal/core"
+	"sam/internal/design"
+	"sam/internal/dram"
+	"sam/internal/imdb"
+	"sam/internal/mc"
+	"sam/internal/sim"
+	"sam/internal/stats"
+)
+
+// benchWorkload keeps bench iterations in the tens of milliseconds.
+func benchWorkload() core.Workload {
+	return core.Workload{TaRecords: 1 << 10, TbRecords: 8 << 10, Seed: 0xBE7C4}
+}
+
+// BenchmarkTable1Matrix regenerates the qualitative comparison (Table 1).
+func BenchmarkTable1Matrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if core.Table1().String() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable2Parameters regenerates the system parameter dump (Table 2).
+func BenchmarkTable2Parameters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if core.Table2().String() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable3Planning parses and plans the whole benchmark query set
+// (Table 3).
+func BenchmarkTable3Planning(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchQuerySpeedup runs one benchmark query on one design and reports the
+// speedup over the row-store baseline.
+func benchQuerySpeedup(b *testing.B, kind design.Kind, queryName string) {
+	var q core.BenchQuery
+	for _, c := range core.Benchmark() {
+		if c.Name == queryName {
+			q = c
+		}
+	}
+	w := benchWorkload()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rs, err := core.RunComparison([]design.Kind{kind}, design.Options{}, w, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = rs[0].Speedup
+	}
+	b.ReportMetric(speedup, "speedup")
+}
+
+// BenchmarkFig12 covers the headline per-query speedups: a representative
+// column-preferring scan (Q3), update (Q11), and row-preferring scan (Qs2)
+// for each evaluated design.
+func BenchmarkFig12(b *testing.B) {
+	for _, kind := range design.AllEvaluated() {
+		for _, qn := range []string{"Q3", "Q11", "Qs2"} {
+			b.Run(fmt.Sprintf("%s/%s", kind, qn), func(b *testing.B) {
+				benchQuerySpeedup(b, kind, qn)
+			})
+		}
+	}
+}
+
+// BenchmarkFig12GmeanQ reproduces the Q-query geometric means per design.
+func BenchmarkFig12GmeanQ(b *testing.B) {
+	w := benchWorkload()
+	for _, kind := range []design.Kind{design.SAMEn, design.SAMIO, design.SAMSub, design.GSDRAMecc, design.RCNVMWd} {
+		b.Run(kind.String(), func(b *testing.B) {
+			var gmean float64
+			for i := 0; i < b.N; i++ {
+				var sp []float64
+				for _, q := range core.Benchmark() {
+					if q.Class != core.ClassQ {
+						continue
+					}
+					rs, err := core.RunComparison([]design.Kind{kind}, design.Options{}, w, q)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sp = append(sp, rs[0].Speedup)
+				}
+				gmean = stats.Gmean(sp)
+			}
+			b.ReportMetric(gmean, "gmean-speedup")
+		})
+	}
+}
+
+// BenchmarkFig13Power reproduces the power/energy study for the read-Q
+// category on the designs Fig. 13 contrasts hardest: baseline vs SAM-IO vs
+// SAM-en.
+func BenchmarkFig13Power(b *testing.B) {
+	w := benchWorkload()
+	q := core.Benchmark()[2] // Q3
+	for _, kind := range []design.Kind{design.Baseline, design.SAMIO, design.SAMEn, design.RCNVMWd} {
+		b.Run(kind.String(), func(b *testing.B) {
+			var mw, eff float64
+			base, err := core.RunOne(design.Baseline, design.Options{}, w, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				r, err := core.RunOne(kind, design.Options{}, w, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mw = r.Stats.PowerMW.Total()
+				eff = sim.EnergyEfficiency(base.Stats, r.Stats)
+			}
+			b.ReportMetric(mw, "mW")
+			b.ReportMetric(eff, "energy-eff")
+		})
+	}
+}
+
+// BenchmarkFig14aSubstrate reproduces the substrate swap for SAM-en and
+// RC-NVM-wd on both technologies (Q3 as the probe query).
+func BenchmarkFig14aSubstrate(b *testing.B) {
+	w := benchWorkload()
+	q := core.Benchmark()[2]
+	for _, kind := range []design.Kind{design.SAMEn, design.RCNVMWd} {
+		for _, sub := range []design.Substrate{design.DRAM, design.NVM} {
+			b.Run(fmt.Sprintf("%s/%s", kind, sub), func(b *testing.B) {
+				var speedup float64
+				base, err := core.RunOne(design.Baseline, design.Options{}, w, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts := design.Options{Substrate: sub, SubstrateSet: true}
+				for i := 0; i < b.N; i++ {
+					r, err := core.RunOne(kind, opts, w, q)
+					if err != nil {
+						b.Fatal(err)
+					}
+					speedup = sim.Speedup(base.Stats, r.Stats)
+				}
+				b.ReportMetric(speedup, "speedup")
+			})
+		}
+	}
+}
+
+// BenchmarkFig14bGranularity reproduces the 16/8/4-bit granularity sweep
+// for SAM-en.
+func BenchmarkFig14bGranularity(b *testing.B) {
+	w := benchWorkload()
+	q := core.Benchmark()[2]
+	for _, g := range []design.Granularity{design.Gran16, design.Gran8, design.Gran4} {
+		b.Run(fmt.Sprintf("%d-bit", g.BitsPerChip), func(b *testing.B) {
+			var speedup float64
+			base, err := core.RunOne(design.Baseline, design.Options{}, w, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				r, err := core.RunOne(design.SAMEn, design.Options{Gran: g}, w, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				speedup = sim.Speedup(base.Stats, r.Stats)
+			}
+			b.ReportMetric(speedup, "speedup")
+		})
+	}
+}
+
+// BenchmarkFig14cArea regenerates the analytical area model.
+func BenchmarkFig14cArea(b *testing.B) {
+	var v float64
+	for i := 0; i < b.N; i++ {
+		fig := core.Fig14c()
+		var ok bool
+		v, ok = fig.Value("area", "SAM-sub")
+		if !ok {
+			b.Fatal("missing cell")
+		}
+	}
+	b.ReportMetric(v, "sam-sub-area")
+}
+
+// BenchmarkFig15ArithSelectivity reproduces one selectivity sweep point per
+// end of the axis (panels a-c).
+func BenchmarkFig15ArithSelectivity(b *testing.B) {
+	for _, sel := range []float64{0.10, 1.0} {
+		b.Run(fmt.Sprintf("sel%.0f%%", sel*100), func(b *testing.B) {
+			var v float64
+			for i := 0; i < b.N; i++ {
+				vals, err := core.RunSweepPoint(core.SweepPoint{Query: core.Arithmetic, Selectivity: sel, Projected: 8}, 512)
+				if err != nil {
+					b.Fatal(err)
+				}
+				v = vals["SAM-en"]
+			}
+			b.ReportMetric(v, "sam-en-speedup")
+		})
+	}
+}
+
+// BenchmarkFig15ArithProjectivity reproduces the projectivity axis (panels
+// d-f) at its ends.
+func BenchmarkFig15ArithProjectivity(b *testing.B) {
+	for _, proj := range []int{2, 64} {
+		b.Run(fmt.Sprintf("proj%d", proj), func(b *testing.B) {
+			var v float64
+			for i := 0; i < b.N; i++ {
+				vals, err := core.RunSweepPoint(core.SweepPoint{Query: core.Arithmetic, Selectivity: 0.5, Projected: proj}, 512)
+				if err != nil {
+					b.Fatal(err)
+				}
+				v = vals["SAM-en"]
+			}
+			b.ReportMetric(v, "sam-en-speedup")
+		})
+	}
+}
+
+// BenchmarkFig15Aggregate reproduces the aggregate-query panels (g, h).
+func BenchmarkFig15Aggregate(b *testing.B) {
+	var v float64
+	for i := 0; i < b.N; i++ {
+		vals, err := core.RunSweepPoint(core.SweepPoint{Query: core.Aggregate, Selectivity: 0.5, Projected: 8}, 512)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v = vals["RC-NVM-wd"]
+	}
+	b.ReportMetric(v, "rc-nvm-wd-speedup")
+}
+
+// BenchmarkFig15RecordSize reproduces panel (i) at both ends of the record
+// size axis.
+func BenchmarkFig15RecordSize(b *testing.B) {
+	for _, rb := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("%dB", rb), func(b *testing.B) {
+			var v float64
+			for i := 0; i < b.N; i++ {
+				fields := rb / imdb.FieldBytes
+				vals, err := core.RunSweepPoint(core.SweepPoint{Query: core.Arithmetic, Selectivity: 1, Projected: fields, RecordBytes: rb}, 512)
+				if err != nil {
+					b.Fatal(err)
+				}
+				v = vals["RC-NVM-wd"]
+			}
+			b.ReportMetric(v, "rc-nvm-wd-speedup")
+		})
+	}
+}
+
+// BenchmarkAblationModeSwitch quantifies the tRTR mode-switch cost the
+// paper argues is negligible (Section 5.3): SAM-en with the default 2-cycle
+// switch vs an 8-cycle switch.
+func BenchmarkAblationModeSwitch(b *testing.B) {
+	w := benchWorkload()
+	q := core.Benchmark()[0] // Q1: three different lanes -> some switching
+	for _, trtr := range []int{2, 8} {
+		b.Run(fmt.Sprintf("tRTR%d", trtr), func(b *testing.B) {
+			var speedup float64
+			base, err := core.RunOne(design.Baseline, design.Options{}, w, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				d := design.New(design.SAMEn, design.Options{})
+				d.Mem.Timing.TRTR = trtr
+				s := sim.NewSystem(d)
+				s.AddTable(imdb.NewTable(imdb.Ta(w.TaRecords), w.Seed), false)
+				s.AddTable(imdb.NewTable(imdb.Tb(w.TbRecords), w.Seed+1), false)
+				r, err := s.RunQuery(q.SQL, q.Params)
+				if err != nil {
+					b.Fatal(err)
+				}
+				speedup = sim.Speedup(base.Stats, r.Stats)
+			}
+			b.ReportMetric(speedup, "speedup")
+		})
+	}
+}
+
+// BenchmarkAblationWriteQueue sweeps the write-drain watermarks on the
+// update workload (Q11), an MC design choice DESIGN.md calls out.
+func BenchmarkAblationWriteQueue(b *testing.B) {
+	w := benchWorkload()
+	q := core.Benchmark()[10] // Q11
+	for _, high := range []int{8, 24} {
+		b.Run(fmt.Sprintf("drainHigh%d", high), func(b *testing.B) {
+			var cycles float64
+			for i := 0; i < b.N; i++ {
+				d := design.New(design.SAMEn, design.Options{})
+				s := sim.NewSystem(d)
+				dev := dram.NewDevice(d.Mem)
+				cfg := mc.DefaultConfig()
+				cfg.WriteDrainHigh = high
+				cfg.WriteDrainLow = high / 4
+				s.Device = dev
+				s.Controller = mc.NewController(dev, cfg)
+				s.AddTable(imdb.NewTable(imdb.Ta(w.TaRecords), w.Seed), false)
+				s.AddTable(imdb.NewTable(imdb.Tb(w.TbRecords), w.Seed+1), false)
+				r, err := s.RunQuery(q.SQL, q.Params)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = float64(r.Stats.Cycles)
+			}
+			b.ReportMetric(cycles, "cycles")
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed: simulated
+// memory requests per wall-second for a Q3 scan on SAM-en.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	w := benchWorkload()
+	q := core.Benchmark()[2]
+	b.ReportAllocs()
+	var reqs uint64
+	for i := 0; i < b.N; i++ {
+		r, err := core.RunOne(design.SAMEn, design.Options{}, w, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reqs = r.Stats.MemRequests
+	}
+	b.ReportMetric(float64(reqs), "sim-requests")
+}
+
+// BenchmarkAblationInterleave contrasts the paper's columns-low address
+// mapping with bank-rotating interleave on the baseline row-store scan —
+// the mapping choice that determines how much of SAM's win comes from bank
+// parallelism alone.
+func BenchmarkAblationInterleave(b *testing.B) {
+	w := benchWorkload()
+	q := core.Benchmark()[2] // Q3
+	for _, il := range []mc.Interleave{mc.ColumnsLow, mc.BanksLow} {
+		b.Run(il.String(), func(b *testing.B) {
+			var cycles float64
+			for i := 0; i < b.N; i++ {
+				d := design.New(design.Baseline, design.Options{})
+				s := sim.NewSystem(d)
+				dev := dram.NewDevice(d.Mem)
+				cfg := mc.DefaultConfig()
+				cfg.Interleave = il
+				s.Device = dev
+				s.Controller = mc.NewController(dev, cfg)
+				s.AddTable(imdb.NewTable(imdb.Ta(w.TaRecords), w.Seed), false)
+				s.AddTable(imdb.NewTable(imdb.Tb(w.TbRecords), w.Seed+1), false)
+				r, err := s.RunQuery(q.SQL, q.Params)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = float64(r.Stats.Cycles)
+			}
+			b.ReportMetric(cycles, "cycles")
+		})
+	}
+}
+
+// BenchmarkExtensionDDR5 runs SAM-en's headline query on the DDR5-4800
+// extension config (beyond the paper's evaluation).
+func BenchmarkExtensionDDR5(b *testing.B) {
+	w := benchWorkload()
+	q := core.Benchmark()[2]
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		mkSys := func(kind design.Kind) *sim.System {
+			d := design.New(kind, design.Options{})
+			d.Mem.Timing = dram.DDR5_4800().Timing
+			d.Mem.Geometry = dram.DDR5_4800().Geometry
+			d.Mem.ClockMHz = dram.DDR5_4800().ClockMHz
+			s := sim.NewSystem(d)
+			s.AddTable(imdb.NewTable(imdb.Ta(w.TaRecords), w.Seed), false)
+			s.AddTable(imdb.NewTable(imdb.Tb(w.TbRecords), w.Seed+1), false)
+			return s
+		}
+		base, err := mkSys(design.Baseline).RunQuery(q.SQL, q.Params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := mkSys(design.SAMEn).RunQuery(q.SQL, q.Params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = sim.Speedup(base.Stats, r.Stats)
+	}
+	b.ReportMetric(speedup, "speedup")
+}
+
+// BenchmarkExtensionMultiChannel scales the channel count (beyond the
+// paper's single-channel setup) on the baseline scan — the orthodox way to
+// buy strided bandwidth with hardware instead of SAM.
+func BenchmarkExtensionMultiChannel(b *testing.B) {
+	w := benchWorkload()
+	q := core.Benchmark()[2]
+	for _, channels := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("ch%d", channels), func(b *testing.B) {
+			var cycles float64
+			for i := 0; i < b.N; i++ {
+				d := design.New(design.Baseline, design.Options{})
+				d.Mem.Geometry.Channels = channels
+				s := sim.NewSystem(d)
+				s.AddTable(imdb.NewTable(imdb.Ta(w.TaRecords), w.Seed), false)
+				s.AddTable(imdb.NewTable(imdb.Tb(w.TbRecords), w.Seed+1), false)
+				r, err := s.RunQuery(q.SQL, q.Params)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = float64(r.Stats.Cycles)
+			}
+			b.ReportMetric(cycles, "cycles")
+		})
+	}
+}
+
+// BenchmarkExtensionHybridStore contrasts three ways to accelerate the same
+// field scan: SAM-en hardware on a row store, a software hybrid layout with
+// the scanned fields stored columnar (no new hardware, but a fixed layout
+// decision), and the plain row store.
+func BenchmarkExtensionHybridStore(b *testing.B) {
+	w := benchWorkload()
+	query := "SELECT SUM(f9) FROM Ta WHERE f10 > 2"
+	mk := func(kind design.Kind, hot []int) *sim.System {
+		d := design.New(kind, design.Options{})
+		s := sim.NewSystem(d)
+		t := imdb.NewTable(imdb.Ta(w.TaRecords), w.Seed)
+		if hot != nil {
+			s.AddTableHybrid(t, hot)
+		} else {
+			s.AddTable(t, false)
+		}
+		return s
+	}
+	cases := []struct {
+		name string
+		kind design.Kind
+		hot  []int
+	}{
+		{"row-store", design.Baseline, nil},
+		{"hybrid", design.Baseline, []int{9, 10}},
+		{"SAM-en", design.SAMEn, nil},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var cycles float64
+			for i := 0; i < b.N; i++ {
+				r, err := mk(c.kind, c.hot).RunQuery(query, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = float64(r.Stats.Cycles)
+			}
+			b.ReportMetric(cycles, "cycles")
+		})
+	}
+}
+
+// BenchmarkFig15AggregateProjectivity covers panel (h): the aggregate query
+// at full selectivity across the projectivity axis ends.
+func BenchmarkFig15AggregateProjectivity(b *testing.B) {
+	for _, proj := range []int{4, 64} {
+		b.Run(fmt.Sprintf("proj%d", proj), func(b *testing.B) {
+			var v float64
+			for i := 0; i < b.N; i++ {
+				vals, err := core.RunSweepPoint(core.SweepPoint{Query: core.Aggregate, Selectivity: 1.0, Projected: proj}, 512)
+				if err != nil {
+					b.Fatal(err)
+				}
+				v = vals["SAM-en"]
+			}
+			b.ReportMetric(v, "sam-en-speedup")
+		})
+	}
+}

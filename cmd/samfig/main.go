@@ -1,0 +1,176 @@
+// Command samfig regenerates the paper's tables and figures (Section 6) as
+// plain-text tables or CSV.
+//
+// Usage:
+//
+//	samfig -exp all
+//	samfig -exp fig12 -ta 16384 -tb 131072
+//	samfig -exp fig15a -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sam/internal/core"
+	"sam/internal/stats"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, table2, table3, fig12, fig13, fig14a, fig14b, fig14c, fig15a..fig15i, all")
+	taRecords := flag.Int("ta", 0, "records in the wide table Ta (0 = default)")
+	tbRecords := flag.Int("tb", 0, "records in the narrow table Tb (0 = default)")
+	sweepRecords := flag.Int("sweep-records", 2048, "table records per Fig.15 sweep point")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	small := flag.Bool("small", false, "use the small (test-scale) workload")
+	flag.Parse()
+
+	w := core.DefaultWorkload()
+	if *small {
+		w = core.SmallWorkload()
+	}
+	if *taRecords > 0 {
+		w.TaRecords = *taRecords
+	}
+	if *tbRecords > 0 {
+		w.TbRecords = *tbRecords
+	}
+
+	emit := func(title string, tb *stats.Table) {
+		fmt.Printf("== %s ==\n", title)
+		if *csv {
+			fmt.Print(tb.CSV())
+		} else {
+			fmt.Print(tb.String())
+		}
+		fmt.Println()
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "samfig:", err)
+		os.Exit(1)
+	}
+
+	wants := func(name string) bool {
+		return *exp == "all" || *exp == name
+	}
+
+	if wants("table1") {
+		emit("Table 1: qualitative comparison (+/o/x)", core.Table1())
+	}
+	if wants("table2") {
+		emit("Table 2: simulated system parameters", core.Table2())
+	}
+	if wants("table3") {
+		tb, err := core.Table3()
+		if err != nil {
+			fail(err)
+		}
+		emit("Table 3: benchmark queries (parsed and planned)", tb)
+	}
+	if wants("fig12") {
+		fig, err := core.Fig12(w)
+		if err != nil {
+			fail(err)
+		}
+		emit("Fig 12: speedup vs row-store baseline", fig.Table())
+	}
+	if wants("fig13") {
+		rows, err := core.Fig13(w)
+		if err != nil {
+			fail(err)
+		}
+		tb := stats.NewTable("category", "design", "bg mW", "rd/wr mW", "act mW", "total mW", "energy eff")
+		for _, r := range rows {
+			tb.AddRow(r.Category, r.Design,
+				fmt.Sprintf("%.0f", r.Background), fmt.Sprintf("%.0f", r.RdWr),
+				fmt.Sprintf("%.0f", r.ActPre), fmt.Sprintf("%.0f", r.TotalMW),
+				fmt.Sprintf("%.2f", r.EnergyEff))
+		}
+		emit("Fig 13: power and normalized energy efficiency", tb)
+	}
+	if wants("fig14a") {
+		fig, err := core.Fig14a(w)
+		if err != nil {
+			fail(err)
+		}
+		emit("Fig 14a: substrate swap (all-query gmean speedup)", fig.Table())
+	}
+	if wants("fig14b") {
+		fig, err := core.Fig14b(w)
+		if err != nil {
+			fail(err)
+		}
+		emit("Fig 14b: strided granularity sweep (Q-query gmean)", fig.Table())
+	}
+	if wants("fig14c") {
+		emit("Fig 14c: area and storage overhead", core.Fig14c().Table())
+	}
+
+	type sweep struct {
+		name string
+		run  func() (*core.Figure, error)
+	}
+	sweeps := []sweep{
+		{"fig15a", func() (*core.Figure, error) {
+			return core.Fig15SelectivitySweep(core.Arithmetic, 8, *sweepRecords)
+		}},
+		{"fig15b", func() (*core.Figure, error) {
+			return core.Fig15SelectivitySweep(core.Arithmetic, 64, *sweepRecords)
+		}},
+		{"fig15c", func() (*core.Figure, error) {
+			return core.Fig15SelectivitySweep(core.Arithmetic, 128, *sweepRecords)
+		}},
+		{"fig15d", func() (*core.Figure, error) {
+			return core.Fig15ProjectivitySweep(core.Arithmetic, 0.10, *sweepRecords)
+		}},
+		{"fig15e", func() (*core.Figure, error) {
+			return core.Fig15ProjectivitySweep(core.Arithmetic, 0.50, *sweepRecords)
+		}},
+		{"fig15f", func() (*core.Figure, error) {
+			return core.Fig15ProjectivitySweep(core.Arithmetic, 1.00, *sweepRecords)
+		}},
+		{"fig15g", func() (*core.Figure, error) {
+			return core.Fig15SelectivitySweep(core.Aggregate, 8, *sweepRecords)
+		}},
+		{"fig15h", func() (*core.Figure, error) {
+			return core.Fig15ProjectivitySweep(core.Aggregate, 1.00, *sweepRecords)
+		}},
+		{"fig15i", func() (*core.Figure, error) {
+			return core.Fig15RecordSizeSweep(*sweepRecords)
+		}},
+	}
+	titles := map[string]string{
+		"fig15a": "Fig 15a: arithmetic, speedup vs selectivity (8 fields)",
+		"fig15b": "Fig 15b: arithmetic, speedup vs selectivity (64 fields)",
+		"fig15c": "Fig 15c: arithmetic, speedup vs selectivity (all fields)",
+		"fig15d": "Fig 15d: arithmetic, speedup vs projectivity (10% selected)",
+		"fig15e": "Fig 15e: arithmetic, speedup vs projectivity (50% selected)",
+		"fig15f": "Fig 15f: arithmetic, speedup vs projectivity (100% selected)",
+		"fig15g": "Fig 15g: aggregate, speedup vs selectivity (8 fields)",
+		"fig15h": "Fig 15h: aggregate, speedup vs projectivity (100% selected)",
+		"fig15i": "Fig 15i: speedup vs record size (100%/100%)",
+	}
+	ranAny := false
+	for _, sw := range sweeps {
+		if wants(sw.name) || (*exp == "fig15" && strings.HasPrefix(sw.name, "fig15")) {
+			fig, err := sw.run()
+			if err != nil {
+				fail(err)
+			}
+			emit(titles[sw.name], fig.Table())
+			ranAny = true
+		}
+	}
+	known := map[string]bool{
+		"all": true, "table1": true, "table2": true, "table3": true,
+		"fig12": true, "fig13": true, "fig14a": true, "fig14b": true, "fig14c": true, "fig15": true,
+	}
+	for _, sw := range sweeps {
+		known[sw.name] = true
+	}
+	if !known[*exp] && !ranAny {
+		fail(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}

@@ -1,0 +1,161 @@
+// Command samsim runs one SQL query from the paper's dialect against a
+// chosen memory design and prints the cycle, traffic, and energy report.
+//
+// Usage:
+//
+//	samsim -design SAM-en -query "SELECT SUM(f9) FROM Ta WHERE f10 > 2"
+//	samsim -design baseline -bench Q3
+//	samsim -design RC-NVM-wd -bench Qs2 -ta 4096
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sam/internal/core"
+	"sam/internal/design"
+	"sam/internal/imdb"
+	"sam/internal/sim"
+	"sam/internal/sql"
+	"sam/internal/trace"
+)
+
+func kindByName(name string) (design.Kind, error) {
+	all := append([]design.Kind{design.Baseline, design.Ideal}, design.AllEvaluated()...)
+	for _, k := range all {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown design %q (try baseline, ideal, SAM-sub, SAM-IO, SAM-en, GS-DRAM, GS-DRAM-ecc, RC-NVM-bit, RC-NVM-wd)", name)
+}
+
+func main() {
+	designName := flag.String("design", "SAM-en", "memory design to simulate")
+	query := flag.String("query", "", "SQL query text (Table 3 dialect)")
+	benchName := flag.String("bench", "", "run a named benchmark query (Q1..Q12, Qs1..Qs6) instead of -query")
+	taRecords := flag.Int("ta", 0, "records in Ta (0 = default)")
+	tbRecords := flag.Int("tb", 0, "records in Tb (0 = default)")
+	compare := flag.Bool("compare", false, "also run the baseline and report speedup")
+	faultChip := flag.Int("faultchip", -1, "inject a dead chip at this index (chipkill study)")
+	traceOut := flag.String("trace", "", "dump the memory request trace to this file")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "samsim:", err)
+		os.Exit(1)
+	}
+
+	kind, err := kindByName(*designName)
+	if err != nil {
+		fail(err)
+	}
+	w := core.DefaultWorkload()
+	if *taRecords > 0 {
+		w.TaRecords = *taRecords
+	}
+	if *tbRecords > 0 {
+		w.TbRecords = *tbRecords
+	}
+
+	var bench core.BenchQuery
+	switch {
+	case *benchName != "":
+		found := false
+		for _, q := range core.Benchmark() {
+			if q.Name == *benchName {
+				bench, found = q, true
+				break
+			}
+		}
+		if !found {
+			fail(fmt.Errorf("unknown benchmark query %q", *benchName))
+		}
+	case *query != "":
+		bench = core.BenchQuery{Name: "adhoc", SQL: *query, Params: sql.Params{}}
+	default:
+		fail(fmt.Errorf("provide -query or -bench"))
+	}
+
+	var res *sim.QueryResult
+	if *faultChip >= 0 || *traceOut != "" {
+		// Build the system by hand so the extras can be attached.
+		d := design.New(kind, design.Options{})
+		s := sim.NewSystem(d)
+		s.AddTable(imdb.NewTable(imdb.Ta(w.TaRecords), w.Seed), false)
+		s.AddTable(imdb.NewTable(imdb.Tb(w.TbRecords), w.Seed+1), false)
+		if *faultChip >= 0 {
+			s.Faults = &sim.FaultModel{DeadChip: *faultChip, Seed: w.Seed}
+		}
+		if *traceOut != "" {
+			s.TraceSink = &trace.Trace{}
+		}
+		params := bench.Params
+		if params == nil {
+			params = sql.Params{}
+		}
+		res, err = s.RunQuery(bench.SQL, params)
+		if err != nil {
+			fail(err)
+		}
+		if *traceOut != "" {
+			f, ferr := os.Create(*traceOut)
+			if ferr != nil {
+				fail(ferr)
+			}
+			if ferr := s.TraceSink.Write(f); ferr != nil {
+				fail(ferr)
+			}
+			f.Close()
+			fmt.Printf("trace         %d requests -> %s\n", s.TraceSink.Len(), *traceOut)
+		}
+	} else {
+		res, err = core.RunOne(kind, design.Options{}, w, bench)
+		if err != nil {
+			fail(err)
+		}
+	}
+	report(kind.String(), bench, res)
+	if *compare && kind != design.Baseline {
+		base, err := core.RunOne(design.Baseline, design.Options{}, w, bench)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nspeedup vs baseline: %.2fx (baseline %d cycles)\n",
+			sim.Speedup(base.Stats, res.Stats), base.Stats.Cycles)
+	}
+}
+
+func report(designName string, q core.BenchQuery, r *sim.QueryResult) {
+	st := r.Stats
+	fmt.Printf("design        %s\n", designName)
+	fmt.Printf("query         %s: %s\n", q.Name, q.SQL)
+	fmt.Printf("rows          %d\n", r.Rows)
+	for i, agg := range r.Aggregates {
+		fmt.Printf("aggregate[%d]  %.6g\n", i, agg)
+	}
+	fmt.Printf("cycles        %d (%.3f ms at 1200 MHz bus)\n", st.Cycles, st.Seconds(1200)*1e3)
+	fmt.Printf("mem requests  %d (row-hit rate %.1f%%)\n", st.MemRequests, st.RowHitRate*100)
+	fmt.Printf("device        ACT=%d RD=%d WR=%d sRD=%d sWR=%d REF=%d modeSwitch=%d\n",
+		st.Device.Acts, st.Device.Reads, st.Device.Writes,
+		st.Device.StrideReads, st.Device.StrideWrites, st.Device.Refs, st.Device.ModeSwitches)
+	fmt.Printf("energy        %.2f uJ (bg %.1f%%, act %.1f%%, rd/wr %.1f%%, ref %.1f%%)\n",
+		st.Energy.Total()/1e3,
+		pct(st.Energy.Background, st.Energy.Total()),
+		pct(st.Energy.ActPre, st.Energy.Total()),
+		pct(st.Energy.RdWr, st.Energy.Total()),
+		pct(st.Energy.Refresh, st.Energy.Total()))
+	fmt.Printf("avg power     %.0f mW\n", st.PowerMW.Total())
+	if st.CorrectedBursts > 0 || st.UncorrectableBursts > 0 {
+		fmt.Printf("fault model   %d bursts corrected by chipkill, %d uncorrectable\n",
+			st.CorrectedBursts, st.UncorrectableBursts)
+	}
+}
+
+func pct(part, whole float64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return part / whole * 100
+}

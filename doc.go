@@ -1,0 +1,31 @@
+// Package sam is a full-system reproduction of "SAM: Accelerating Strided
+// Memory Accesses" (Xin, Guo, Zhang, Yang — MICRO 2021): a cycle-level
+// DDR4/RRAM memory-system simulator with the paper's three SAM designs
+// (SAM-sub, SAM-IO, SAM-en), its baselines (GS-DRAM, GS-DRAM-ecc,
+// RC-NVM-bit, RC-NVM-wd), real chipkill ECC codecs, a sector-cache
+// hierarchy, and an in-memory-database workload engine that executes the
+// paper's Table 3 SQL benchmark.
+//
+// The public surface lives in internal/core (experiment runners used by the
+// cmd/ tools, the examples, and the benches); the substrates are:
+//
+//	internal/dram    DDR4 command/timing model, common-die I/O buffers,
+//	                 stride I/O modes, protocol auditor
+//	internal/nvm     crossbar RRAM personality and RC-NVM reshape
+//	internal/mc      FR-FCFS controller, address mapping, Fig. 10 remap
+//	internal/ecc     SEC-DED, SSC and SSC-DSD chipkill (Reed-Solomon),
+//	                 Fig. 4 codeword layouts
+//	internal/cache   sector-cache hierarchy (Section 5.1)
+//	internal/cpu     multicore throughput model (Table 2 processor)
+//	internal/imdb    tables, synthetic data, record alignment
+//	internal/sql     the Table 3 SQL dialect: lexer, parser, planner
+//	internal/design  the evaluated design points and their data layouts
+//	internal/sim     the full-system simulator and query executor
+//
+// Regenerate every table and figure with:
+//
+//	go run ./cmd/samfig -exp all
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// results against the paper.
+package sam

@@ -1,0 +1,62 @@
+// Quickstart: load the paper's wide table, run one analytical query on
+// commodity DRAM and on SAM-en, and compare.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sam/internal/core"
+	"sam/internal/design"
+	"sam/internal/imdb"
+	"sam/internal/sim"
+	"sam/internal/sql"
+)
+
+func main() {
+	// A 16Ki-record Ta (1KB records, 128 fields) — 16MB, double the LLC.
+	const records = 16 << 10
+	query := "SELECT SUM(f9) FROM Ta WHERE f10 > x"
+	params := sql.Params{"x": 2} // f10 is categorical {0..3}: ~25% selected
+
+	run := func(kind design.Kind) *sim.QueryResult {
+		d := design.New(kind, design.Options{})
+		s := sim.NewSystem(d)
+		s.AddTable(imdb.NewTable(imdb.Ta(records), 42), false)
+		r, err := s.RunQuery(query, params)
+		if err != nil {
+			log.Fatalf("%v: %v", kind, err)
+		}
+		return r
+	}
+
+	base := run(design.Baseline)
+	sam := run(design.SAMEn)
+
+	fmt.Println("query:   ", query)
+	fmt.Printf("matched:  %d of %d records (%.1f%%)\n",
+		base.Rows, records, 100*float64(base.Rows)/records)
+	fmt.Printf("sum(f9):  %.6g\n", base.Aggregates[0])
+	if sam.Aggregates[0] != base.Aggregates[0] || sam.Rows != base.Rows {
+		log.Fatal("designs disagree on the answer — that must never happen")
+	}
+	fmt.Println()
+	fmt.Printf("%-10s %12s %14s %10s\n", "design", "cycles", "mem requests", "row hits")
+	for _, r := range []struct {
+		name string
+		res  *sim.QueryResult
+	}{{"baseline", base}, {"SAM-en", sam}} {
+		st := r.res.Stats
+		fmt.Printf("%-10s %12d %14d %9.1f%%\n", r.name, st.Cycles, st.MemRequests, st.RowHitRate*100)
+	}
+	fmt.Println()
+	fmt.Printf("SAM-en speedup: %.2fx  (strided bursts: %d, mode switches: %d)\n",
+		sim.Speedup(base.Stats, sam.Stats),
+		sam.Stats.Device.StrideReads, sam.Stats.Device.ModeSwitches)
+	fmt.Println()
+	fmt.Println("The same comparison across all designs and all 18 benchmark")
+	fmt.Println("queries: go run ./cmd/samfig -exp fig12")
+	_ = core.Benchmark // see internal/core for the full harness
+}

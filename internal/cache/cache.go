@@ -1,0 +1,260 @@
+// Package cache implements the sector-cache hierarchy of Section 5.1: set
+// associative write-back caches whose lines are divided into 16B sectors
+// with independent valid and dirty bits, so SAM's strided data (one chipkill
+// codeword's worth per line) can live in the hierarchy without dragging
+// whole cachelines around.
+//
+// The caches are timing/traffic models: they track tags and sector state,
+// not payload bytes (the functional data path lives in dram.SparseMem and is
+// validated separately).
+package cache
+
+import "fmt"
+
+// Config sizes one cache level.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	LineBytes  int
+	Ways       int
+	Sectors    int // sectors per line; 1 disables sectoring
+	HitLatency int // CPU cycles for a hit at this level
+}
+
+// Validate checks the level geometry.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 || c.Sectors <= 0:
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	case c.SizeBytes%(c.LineBytes*c.Ways) != 0:
+		return fmt.Errorf("cache: size %d not divisible by line*ways", c.SizeBytes)
+	case c.LineBytes%c.Sectors != 0:
+		return fmt.Errorf("cache: %d sectors do not divide %dB line", c.Sectors, c.LineBytes)
+	case c.Sectors > 64:
+		return fmt.Errorf("cache: sector bitmap limited to 64, got %d", c.Sectors)
+	}
+	return nil
+}
+
+// Stats counts per-level activity.
+type Stats struct {
+	Hits, Misses       uint64
+	SectorHits         uint64 // hit on line, fill avoided by sector validity
+	SectorMisses       uint64 // line present but sector invalid
+	Evictions          uint64
+	DirtyEvictions     uint64
+	FillsFromBelow     uint64
+	WritebacksToBelow  uint64
+	StridedLineInserts uint64
+}
+
+type line struct {
+	tag      uint64
+	valid    uint64 // sector valid bitmap
+	dirty    uint64 // sector dirty bitmap
+	sectored bool   // filled by a strided access (affects writeback shape)
+	lru      uint64
+}
+
+// Cache is one level.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	setMask  uint64
+	lineBits uint
+	secBytes int
+	clock    uint64
+	Stats    Stats
+}
+
+// New builds a level; it panics on invalid configuration.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	if nSets&(nSets-1) != 0 {
+		panic(fmt.Sprintf("cache: %s set count %d not a power of two", cfg.Name, nSets))
+	}
+	lineBits := uint(0)
+	for 1<<lineBits < cfg.LineBytes {
+		lineBits++
+	}
+	c := &Cache{
+		cfg:      cfg,
+		sets:     make([][]line, nSets),
+		setMask:  uint64(nSets - 1),
+		lineBits: lineBits,
+		secBytes: cfg.LineBytes / cfg.Sectors,
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the level configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// SectorBytes returns the sector granularity.
+func (c *Cache) SectorBytes() int { return c.secBytes }
+
+func (c *Cache) setBits() uint {
+	var n uint
+	for 1<<n <= int(c.setMask) {
+		n++
+	}
+	return n
+}
+
+func (c *Cache) locate(addr uint64) (setIdx int, tag uint64) {
+	lineAddr := addr >> c.lineBits
+	return int(lineAddr & c.setMask), lineAddr >> c.setBits()
+}
+
+func (c *Cache) sectorOf(addr uint64) int {
+	return int(addr&(1<<c.lineBits-1)) / c.secBytes
+}
+
+// sectorMask returns the bitmap of sectors an access [addr, addr+size)
+// touches within its line.
+func (c *Cache) sectorMask(addr uint64, size int) uint64 {
+	first := c.sectorOf(addr)
+	last := c.sectorOf(addr + uint64(size) - 1)
+	var m uint64
+	for s := first; s <= last; s++ {
+		m |= 1 << s
+	}
+	return m
+}
+
+// Outcome classifies one access at this level.
+type Outcome int
+
+// Access outcomes.
+const (
+	Hit Outcome = iota
+	SectorMiss
+	LineMiss
+)
+
+// Eviction describes a line pushed out to make room.
+type Eviction struct {
+	LineAddr uint64
+	Dirty    uint64 // dirty sector bitmap (0 = clean eviction)
+	Sectored bool
+}
+
+// Access probes the level for [addr, addr+size). On a line miss the caller
+// must Fill before the data is usable; on a sector miss the line exists but
+// the touched sectors are invalid. Write hits mark sectors dirty.
+func (c *Cache) Access(addr uint64, size int, write bool) Outcome {
+	if size <= 0 || uint64(size) > uint64(c.cfg.LineBytes)-(addr&(1<<c.lineBits-1)) {
+		panic(fmt.Sprintf("cache: access [%x,+%d) crosses a line boundary", addr, size))
+	}
+	setIdx, tag := c.locate(addr)
+	mask := c.sectorMask(addr, size)
+	c.clock++
+	for i := range c.sets[setIdx] {
+		ln := &c.sets[setIdx][i]
+		if ln.valid != 0 && ln.tag == tag {
+			if ln.valid&mask == mask {
+				ln.lru = c.clock
+				if write {
+					ln.dirty |= mask
+				}
+				c.Stats.Hits++
+				return Hit
+			}
+			c.Stats.SectorMisses++
+			c.Stats.Misses++
+			return SectorMiss
+		}
+	}
+	c.Stats.Misses++
+	return LineMiss
+}
+
+// Fill installs (or widens) the line containing addr with the given sector
+// bitmap, returning an eviction if a victim was displaced. markDirty sets
+// the filled sectors dirty (write-allocate); sectored tags the line as
+// strided-filled.
+func (c *Cache) Fill(addr uint64, sectors uint64, markDirty, sectored bool) (ev Eviction, evicted bool) {
+	setIdx, tag := c.locate(addr)
+	c.clock++
+	set := c.sets[setIdx]
+	// Widen an existing line.
+	for i := range set {
+		ln := &set[i]
+		if ln.valid != 0 && ln.tag == tag {
+			ln.valid |= sectors
+			if markDirty {
+				ln.dirty |= sectors
+			}
+			ln.sectored = ln.sectored || sectored
+			ln.lru = c.clock
+			return Eviction{}, false
+		}
+	}
+	// Find a victim: invalid way first, else LRU.
+	victim := 0
+	for i := range set {
+		if set[i].valid == 0 {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	ln := &set[victim]
+	if ln.valid != 0 {
+		c.Stats.Evictions++
+		if ln.dirty != 0 {
+			c.Stats.DirtyEvictions++
+		}
+		ev = Eviction{
+			LineAddr: ((ln.tag<<c.setBits() | uint64(setIdx)) << c.lineBits),
+			Dirty:    ln.dirty,
+			Sectored: ln.sectored,
+		}
+		evicted = ln.dirty != 0
+	}
+	*ln = line{tag: tag, valid: sectors, lru: c.clock, sectored: sectored}
+	if markDirty {
+		ln.dirty = sectors
+	}
+	c.Stats.FillsFromBelow++
+	if sectored {
+		c.Stats.StridedLineInserts++
+	}
+	return ev, evicted
+}
+
+// Contains reports whether the full sector mask for [addr,addr+size) is
+// resident and valid.
+func (c *Cache) Contains(addr uint64, size int) bool {
+	setIdx, tag := c.locate(addr)
+	mask := c.sectorMask(addr, size)
+	for i := range c.sets[setIdx] {
+		ln := &c.sets[setIdx][i]
+		if ln.valid != 0 && ln.tag == tag {
+			return ln.valid&mask == mask
+		}
+	}
+	return false
+}
+
+// InvalidateAll clears the cache (used between experiment phases).
+func (c *Cache) InvalidateAll() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w] = line{}
+		}
+	}
+}
+
+// FullSectorMask returns the bitmap covering every sector of a line.
+func (c *Cache) FullSectorMask() uint64 {
+	return 1<<uint(c.cfg.Sectors) - 1
+}

@@ -1,0 +1,182 @@
+// Package core is the library's public face: it wires the Table 3
+// benchmark queries, the evaluated designs, and the simulator into
+// ready-to-run experiments — the programmatic API behind cmd/samfig, the
+// examples, and the bench harness.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"sam/internal/design"
+	"sam/internal/imdb"
+	"sam/internal/sim"
+	"sam/internal/sql"
+)
+
+// QueryClass separates the benchmark's column-preferring (Q) and
+// row-preferring (Qs) query sets.
+type QueryClass int
+
+// Query classes.
+const (
+	ClassQ QueryClass = iota
+	ClassQs
+)
+
+// String names the class.
+func (c QueryClass) String() string {
+	if c == ClassQs {
+		return "Qs"
+	}
+	return "Q"
+}
+
+// BenchQuery is one Table 3 benchmark entry.
+type BenchQuery struct {
+	Name   string
+	SQL    string
+	Class  QueryClass
+	Params sql.Params
+	// IsWrite marks update/insert queries (the Fig. 13 categories).
+	IsWrite bool
+}
+
+// The Table 3 predicate constants: the categorical predicate field has
+// values {0..3}, so "> 2" and "= 3" both select 25%, and "> 3" is the
+// mostly-false predicate of Q2.
+var (
+	sel25     = sql.Params{"x": 2, "y": 2, "z": 3}
+	selNever  = sql.Params{"x": 3}
+	sel25Pair = sql.Params{
+		"x": imdb.SelectivityThreshold(0.5), // f1 > x: 50%
+		"y": imdb.Percentile(0.5),           // f9 < y: 50% -> 25% joint
+	}
+)
+
+// Benchmark returns the full Table 3 query set in paper order.
+func Benchmark() []BenchQuery {
+	return []BenchQuery{
+		{Name: "Q1", SQL: "SELECT f3, f4 FROM Ta WHERE f10 > x", Class: ClassQ, Params: sel25},
+		{Name: "Q2", SQL: "SELECT * FROM Tb WHERE f10 > x", Class: ClassQ, Params: selNever},
+		{Name: "Q3", SQL: "SELECT SUM(f9) FROM Ta WHERE f10 > x", Class: ClassQ, Params: sel25},
+		{Name: "Q4", SQL: "SELECT SUM(f9) FROM Tb WHERE f10 > x", Class: ClassQ, Params: sel25},
+		{Name: "Q5", SQL: "SELECT AVG(f1) FROM Ta WHERE f10 > x", Class: ClassQ, Params: sel25},
+		{Name: "Q6", SQL: "SELECT AVG(f1) FROM Tb WHERE f10 > x", Class: ClassQ, Params: sel25},
+		{Name: "Q7", SQL: "SELECT Ta.f3, Tb.f4 FROM Ta, Tb WHERE Ta.f1 > Tb.f1 AND Ta.f9 = Tb.f9", Class: ClassQ},
+		{Name: "Q8", SQL: "SELECT Ta.f3, Tb.f4 FROM Ta, Tb WHERE Ta.f9 = Tb.f9", Class: ClassQ},
+		{Name: "Q9", SQL: "SELECT f3, f4 FROM Ta WHERE f1 > x AND f9 < y", Class: ClassQ, Params: sel25Pair},
+		{Name: "Q10", SQL: "SELECT f3, f4 FROM Ta WHERE f1 > x AND f2 < y", Class: ClassQ, Params: sel25Pair},
+		{Name: "Q11", SQL: "UPDATE Tb SET f3 = x, f4 = y WHERE f10 = z", Class: ClassQ, Params: sel25, IsWrite: true},
+		{Name: "Q12", SQL: "UPDATE Tb SET f9 = x WHERE f10 = z", Class: ClassQ, Params: sel25, IsWrite: true},
+		{Name: "Qs1", SQL: "SELECT * FROM Ta LIMIT 1024", Class: ClassQs},
+		{Name: "Qs2", SQL: "SELECT * FROM Tb LIMIT 1024", Class: ClassQs},
+		{Name: "Qs3", SQL: "SELECT * FROM Ta WHERE f10 > x", Class: ClassQs, Params: sel25},
+		{Name: "Qs4", SQL: "SELECT * FROM Tb WHERE f10 > x", Class: ClassQs, Params: sel25},
+		{Name: "Qs5", SQL: "INSERT INTO Ta VALUES (f0, f1, f2, f3)", Class: ClassQs, IsWrite: true},
+		{Name: "Qs6", SQL: "INSERT INTO Tb VALUES (f0, f1, f2, f3)", Class: ClassQs, IsWrite: true},
+	}
+}
+
+// Workload describes the database scale for a run.
+type Workload struct {
+	TaRecords int
+	TbRecords int
+	Seed      uint64
+}
+
+// DefaultWorkload keeps both tables several times the LLC, like the
+// paper's 10M-record tables dwarf its 8MB LLC, while staying simulable in
+// seconds (see DESIGN.md section 7).
+func DefaultWorkload() Workload {
+	return Workload{TaRecords: 16 << 10, TbRecords: 128 << 10, Seed: 0xDA7ABA5E}
+}
+
+// SmallWorkload is the bench/test scale.
+func SmallWorkload() Workload {
+	return Workload{TaRecords: 2 << 10, TbRecords: 16 << 10, Seed: 0xDA7ABA5E}
+}
+
+// NewSystem builds a system for kind with both benchmark tables loaded.
+// For the Ideal design, colStore selects the per-query preferred layout.
+func NewSystem(kind design.Kind, opts design.Options, w Workload, colStore bool) *sim.System {
+	d := design.New(kind, opts)
+	s := sim.NewSystem(d)
+	s.AddTable(imdb.NewTable(imdb.Ta(w.TaRecords), w.Seed), colStore)
+	s.AddTable(imdb.NewTable(imdb.Tb(w.TbRecords), w.Seed+1), colStore)
+	return s
+}
+
+// RunOne executes one benchmark query on a fresh system of the given kind
+// and returns its result. The Ideal design automatically uses the
+// preferred store for the query class, and Qs-class queries execute with
+// row-preferring full-record scans.
+func RunOne(kind design.Kind, opts design.Options, w Workload, q BenchQuery) (*sim.QueryResult, error) {
+	colStore := kind == design.Ideal && q.Class == ClassQ
+	s := NewSystem(kind, opts, w, colStore)
+	stmt, err := sql.Parse(q.SQL)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := sql.Compile(stmt, q.Params)
+	if err != nil {
+		return nil, err
+	}
+	plan.FullScan = q.Class == ClassQs && plan.WholeRecord
+	return s.RunPlan(plan)
+}
+
+// SpeedupResult is one (query, design) cell of Fig. 12.
+type SpeedupResult struct {
+	Query   string
+	Design  string
+	Speedup float64
+	Result  *sim.QueryResult
+}
+
+// RunComparison runs the query on the baseline and every given design,
+// returning speedups normalized to the row-store baseline. Designs run in
+// parallel (every run owns a fresh system; nothing is shared). It errors
+// if any design returns different functional results than the baseline
+// (invariant 9).
+func RunComparison(kinds []design.Kind, opts design.Options, w Workload, q BenchQuery) ([]SpeedupResult, error) {
+	base, err := RunOne(design.Baseline, opts, w, q)
+	if err != nil {
+		return nil, fmt.Errorf("%s baseline: %w", q.Name, err)
+	}
+	out := make([]SpeedupResult, len(kinds))
+	errs := make([]error, len(kinds))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, k := range kinds {
+		wg.Add(1)
+		go func(i int, k design.Kind) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := RunOne(k, opts, w, q)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s on %v: %w", q.Name, k, err)
+				return
+			}
+			if r.Rows != base.Rows || r.ProjChecks != base.ProjChecks || r.ArithChecks != base.ArithChecks {
+				errs[i] = fmt.Errorf("%s on %v: functional mismatch (rows %d vs %d)", q.Name, k, r.Rows, base.Rows)
+				return
+			}
+			out[i] = SpeedupResult{
+				Query:   q.Name,
+				Design:  k.String(),
+				Speedup: sim.Speedup(base.Stats, r.Stats),
+				Result:  r,
+			}
+		}(i, k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,466 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"sam/internal/area"
+	"sam/internal/design"
+	"sam/internal/imdb"
+	"sam/internal/sim"
+	"sam/internal/sql"
+	"sam/internal/stats"
+)
+
+// This file regenerates every table and figure of the paper's evaluation
+// (Section 6). Each Fig* function returns both the rendered table and the
+// raw series so tests and benches can assert on shapes.
+
+// Cell is one (x, design) measurement of a figure.
+type Cell struct {
+	X      string
+	Design string
+	Value  float64
+}
+
+// Figure is a reproduced artifact: rows = x axis, columns = designs.
+type Figure struct {
+	ID    string
+	Cells []Cell
+}
+
+// Value looks up one cell.
+func (f *Figure) Value(x, designName string) (float64, bool) {
+	for _, c := range f.Cells {
+		if c.X == x && c.Design == designName {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Table renders the figure as an aligned text table.
+func (f *Figure) Table() *stats.Table {
+	var xs []string
+	var designs []string
+	seenX := map[string]bool{}
+	seenD := map[string]bool{}
+	for _, c := range f.Cells {
+		if !seenX[c.X] {
+			seenX[c.X] = true
+			xs = append(xs, c.X)
+		}
+		if !seenD[c.Design] {
+			seenD[c.Design] = true
+			designs = append(designs, c.Design)
+		}
+	}
+	tb := stats.NewTable(append([]string{f.ID}, designs...)...)
+	for _, x := range xs {
+		row := []string{x}
+		for _, d := range designs {
+			if v, ok := f.Value(x, d); ok {
+				row = append(row, fmt.Sprintf("%.2f", v))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		tb.AddRow(row...)
+	}
+	return tb
+}
+
+// Fig12 reproduces the headline speedup comparison: every Table 3 query on
+// every design, normalized to the row-store baseline, plus per-class
+// geometric means.
+func Fig12(w Workload) (*Figure, error) {
+	fig := &Figure{ID: "fig12"}
+	kinds := design.AllEvaluated()
+	gmQ := map[string][]float64{}
+	gmQs := map[string][]float64{}
+	for _, q := range Benchmark() {
+		rs, err := RunComparison(kinds, design.Options{}, w, q)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rs {
+			fig.Cells = append(fig.Cells, Cell{X: q.Name, Design: r.Design, Value: r.Speedup})
+			if q.Class == ClassQ {
+				gmQ[r.Design] = append(gmQ[r.Design], r.Speedup)
+			} else {
+				gmQs[r.Design] = append(gmQs[r.Design], r.Speedup)
+			}
+		}
+	}
+	for _, k := range kinds {
+		fig.Cells = append(fig.Cells,
+			Cell{X: "Gmean-Q", Design: k.String(), Value: stats.Gmean(gmQ[k.String()])},
+			Cell{X: "Gmean-Qs", Design: k.String(), Value: stats.Gmean(gmQs[k.String()])})
+	}
+	return fig, nil
+}
+
+// PowerCategory groups queries as Fig. 13 does.
+type PowerCategory struct {
+	Name    string
+	Queries []string
+}
+
+// Fig13Categories returns the four categories of Fig. 13.
+func Fig13Categories() []PowerCategory {
+	return []PowerCategory{
+		{Name: "Read(Q1-Q10)", Queries: []string{"Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7", "Q8", "Q9", "Q10"}},
+		{Name: "Write(Q11,Q12)", Queries: []string{"Q11", "Q12"}},
+		{Name: "Read(Qs1-Qs4)", Queries: []string{"Qs1", "Qs2", "Qs3", "Qs4"}},
+		{Name: "Write(Qs5,Qs6)", Queries: []string{"Qs5", "Qs6"}},
+	}
+}
+
+// Fig13Row is one design's power and energy-efficiency numbers for a
+// category.
+type Fig13Row struct {
+	Category   string
+	Design     string
+	Background float64 // mW
+	RdWr       float64 // mW
+	ActPre     float64 // mW
+	TotalMW    float64
+	// EnergyEff is work-per-energy normalized to the row-store baseline.
+	EnergyEff float64
+}
+
+// Fig13 reproduces the power/energy-efficiency study.
+func Fig13(w Workload) ([]Fig13Row, error) {
+	byName := map[string]BenchQuery{}
+	for _, q := range Benchmark() {
+		byName[q.Name] = q
+	}
+	kinds := append([]design.Kind{Baseline()}, design.AllEvaluated()...)
+	var rows []Fig13Row
+	for _, cat := range Fig13Categories() {
+		baseEnergy := map[string]float64{}
+		for _, kind := range kinds {
+			var bg, rw, act, total, energy, baseE float64
+			for _, name := range cat.Queries {
+				q := byName[name]
+				r, err := RunOne(kind, design.Options{}, w, q)
+				if err != nil {
+					return nil, fmt.Errorf("fig13 %s %v: %w", name, kind, err)
+				}
+				p := r.Stats.PowerMW
+				bg += p.Background
+				rw += p.RdWr
+				act += p.ActPre + p.Refresh
+				total += p.Background + p.RdWr + p.ActPre + p.Refresh
+				energy += r.Stats.Energy.Total()
+				if kind == Baseline() {
+					baseEnergy[name] = r.Stats.Energy.Total()
+				}
+				baseE += baseEnergy[name]
+			}
+			n := float64(len(cat.Queries))
+			row := Fig13Row{
+				Category:   cat.Name,
+				Design:     kind.String(),
+				Background: bg / n,
+				RdWr:       rw / n,
+				ActPre:     act / n,
+				TotalMW:    total / n,
+			}
+			if energy > 0 && baseE > 0 {
+				row.EnergyEff = baseE / energy
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Baseline returns the normalization design kind.
+func Baseline() design.Kind { return design.Baseline }
+
+// Fig14a reproduces the substrate swap: RC-NVM and SAM designs on both NVM
+// and DRAM, all-query geometric mean speedup.
+func Fig14a(w Workload) (*Figure, error) {
+	fig := &Figure{ID: "fig14a"}
+	kinds := []design.Kind{design.RCNVMWd, design.SAMSub, design.SAMIO, design.SAMEn}
+	for _, sub := range []design.Substrate{design.NVM, design.DRAM} {
+		opts := design.Options{Substrate: sub, SubstrateSet: true}
+		gm := map[string][]float64{}
+		for _, q := range Benchmark() {
+			// Normalize against the plain DRAM baseline, like the paper.
+			base, err := RunOne(design.Baseline, design.Options{}, w, q)
+			if err != nil {
+				return nil, err
+			}
+			for _, k := range kinds {
+				r, err := RunOne(k, opts, w, q)
+				if err != nil {
+					return nil, err
+				}
+				gm[k.String()] = append(gm[k.String()], sim.Speedup(base.Stats, r.Stats))
+			}
+		}
+		for _, k := range kinds {
+			fig.Cells = append(fig.Cells, Cell{X: sub.String(), Design: k.String(), Value: stats.Gmean(gm[k.String()])})
+		}
+	}
+	return fig, nil
+}
+
+// Fig14b reproduces the strided-granularity sweep (16/8/4 bits per chip)
+// for RC-NVM-wd, GS-DRAM-ecc, and SAM-en: Q-query geometric mean.
+func Fig14b(w Workload) (*Figure, error) {
+	fig := &Figure{ID: "fig14b"}
+	kinds := []design.Kind{design.RCNVMWd, design.GSDRAMecc, design.SAMEn}
+	grans := []design.Granularity{design.Gran16, design.Gran8, design.Gran4}
+	for _, g := range grans {
+		opts := design.Options{Gran: g}
+		gm := map[string][]float64{}
+		for _, q := range Benchmark() {
+			if q.Class != ClassQ {
+				continue
+			}
+			base, err := RunOne(design.Baseline, design.Options{}, w, q)
+			if err != nil {
+				return nil, err
+			}
+			for _, k := range kinds {
+				r, err := RunOne(k, opts, w, q)
+				if err != nil {
+					return nil, err
+				}
+				gm[k.String()] = append(gm[k.String()], sim.Speedup(base.Stats, r.Stats))
+			}
+		}
+		label := fmt.Sprintf("%d-bit", g.BitsPerChip)
+		for _, k := range kinds {
+			fig.Cells = append(fig.Cells, Cell{X: label, Design: k.String(), Value: stats.Gmean(gm[k.String()])})
+		}
+	}
+	return fig, nil
+}
+
+// Fig14c reproduces the area/storage overhead comparison.
+func Fig14c() *Figure {
+	fig := &Figure{ID: "fig14c"}
+	for _, o := range area.All() {
+		fig.Cells = append(fig.Cells,
+			Cell{X: "area", Design: o.Design, Value: o.Area()},
+			Cell{X: "storage", Design: o.Design, Value: o.Storage})
+	}
+	return fig
+}
+
+// SweepQueryKind selects the Fig. 15 query template.
+type SweepQueryKind int
+
+// Sweep templates.
+const (
+	Arithmetic SweepQueryKind = iota // SELECT fi + fj + ... FROM Ta WHERE f0 < x
+	Aggregate                        // SELECT AVG(fi), ... FROM Ta WHERE f0 < x
+)
+
+// SweepPoint configures one Fig. 15 measurement.
+type SweepPoint struct {
+	Query       SweepQueryKind
+	Selectivity float64 // fraction of records selected
+	Projected   int     // number of fields projected
+	RecordBytes int     // record size (fields * 8); 0 = Ta default (1KB)
+	Records     int     // table size; 0 = workload default
+}
+
+// sweepSQL builds the query text for a point, choosing projected fields in
+// the paper's "random manner" (deterministic seed).
+func sweepSQL(p SweepPoint, tableFields int) string {
+	var fields []int
+	if p.Projected >= tableFields {
+		// Full projectivity: every field, including the predicate column.
+		for f := 0; f < tableFields; f++ {
+			fields = append(fields, f)
+		}
+	} else {
+		rng := rand.New(rand.NewSource(int64(p.Projected)*131 + 7))
+		seen := map[int]bool{0: true} // f0 is the predicate column
+		for len(fields) < p.Projected && len(seen) <= tableFields {
+			f := 1 + rng.Intn(tableFields-1)
+			if !seen[f] {
+				seen[f] = true
+				fields = append(fields, f)
+			}
+		}
+	}
+	var items []string
+	switch p.Query {
+	case Arithmetic:
+		parts := make([]string, len(fields))
+		for i, f := range fields {
+			parts[i] = fmt.Sprintf("f%d", f)
+		}
+		items = []string{strings.Join(parts, " + ")}
+	case Aggregate:
+		for _, f := range fields {
+			items = append(items, fmt.Sprintf("AVG(f%d)", f))
+		}
+	}
+	return fmt.Sprintf("SELECT %s FROM T WHERE f0 < x", strings.Join(items, ", "))
+}
+
+// SweepDesigns are the Fig. 15 representatives.
+func SweepDesigns() []design.Kind {
+	return []design.Kind{design.RCNVMWd, design.GSDRAMecc, design.SAMEn}
+}
+
+// RunSweepPoint measures all sweep designs (plus ideal) at one point,
+// returning speedups over the row-store baseline.
+func RunSweepPoint(p SweepPoint, records int) (map[string]float64, error) {
+	if p.Records > 0 {
+		records = p.Records
+	}
+	rb := p.RecordBytes
+	if rb == 0 {
+		rb = 1024
+	}
+	fields := rb / imdb.FieldBytes
+	if fields < 1 {
+		return nil, fmt.Errorf("core: record size %dB below one field", rb)
+	}
+	if p.Projected > fields {
+		p.Projected = fields
+	}
+	if p.Projected < 1 {
+		p.Projected = 1
+	}
+	if fields == 1 {
+		p.Projected = 1 // degenerate single-field record: project f0 itself
+	}
+	schema := imdb.Schema{Name: "T", Fields: fields, Records: records}
+	query := sweepSQL(p, fields)
+	params := sql.Params{"x": imdb.Percentile(p.Selectivity)}
+
+	run := func(kind design.Kind, colStore bool) (*sim.QueryResult, error) {
+		d := design.New(kind, design.Options{})
+		s := sim.NewSystem(d)
+		s.AddTable(imdb.NewTable(schema, 0xF15), colStore)
+		stmt, err := sql.Parse(query)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := sql.Compile(stmt, params)
+		if err != nil {
+			return nil, err
+		}
+		// Near-total projectivity executes row-wise (whole-record reads),
+		// like any engine that prefers a row store for such queries.
+		touched := map[int]bool{}
+		for _, f := range plan.PredFields {
+			touched[f] = true
+		}
+		for _, f := range plan.ProjFields {
+			touched[f] = true
+		}
+		plan.FullScan = !colStore && len(touched)*10 >= fields*9
+		return s.RunPlan(plan)
+	}
+
+	base, err := run(design.Baseline, false)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, k := range SweepDesigns() {
+		r, err := run(k, false)
+		if err != nil {
+			return nil, err
+		}
+		if r.Rows != base.Rows || r.ArithChecks != base.ArithChecks {
+			return nil, fmt.Errorf("core: sweep functional mismatch on %v", k)
+		}
+		out[k.String()] = sim.Speedup(base.Stats, r.Stats)
+	}
+	// Ideal: preferred store — the better of row (baseline itself) and
+	// column placement.
+	col, err := run(design.Ideal, true)
+	if err != nil {
+		return nil, err
+	}
+	ideal := sim.Speedup(base.Stats, col.Stats)
+	if ideal < 1 {
+		ideal = 1
+	}
+	out["ideal"] = ideal
+	return out, nil
+}
+
+// Fig15Selectivities is the x axis of panels (a)-(c) and (g) — the paper
+// sweeps from 10% up.
+func Fig15Selectivities() []float64 { return []float64{0.10, 0.20, 0.40, 0.60, 0.80, 1.0} }
+
+// Fig15Projectivities is the x axis of panels (d)-(f) and (h).
+func Fig15Projectivities() []int { return []int{1, 2, 4, 8, 16, 32, 64, 96, 127} }
+
+// Fig15RecordSizes is the x axis of panel (i).
+func Fig15RecordSizes() []int { return []int{8, 16, 32, 64, 128, 256, 512, 1024} }
+
+// Fig15SelectivitySweep runs panels (a)-(c)/(g): speedup vs selectivity at
+// fixed projectivity.
+func Fig15SelectivitySweep(kind SweepQueryKind, projected, records int) (*Figure, error) {
+	name := "fig15-arith-sel"
+	if kind == Aggregate {
+		name = "fig15-aggr-sel"
+	}
+	fig := &Figure{ID: fmt.Sprintf("%s-p%d", name, projected)}
+	for _, sel := range Fig15Selectivities() {
+		vals, err := RunSweepPoint(SweepPoint{Query: kind, Selectivity: sel, Projected: projected}, records)
+		if err != nil {
+			return nil, err
+		}
+		x := fmt.Sprintf("%.0f%%", sel*100)
+		for d, v := range vals {
+			fig.Cells = append(fig.Cells, Cell{X: x, Design: d, Value: v})
+		}
+	}
+	return fig, nil
+}
+
+// Fig15ProjectivitySweep runs panels (d)-(f)/(h): speedup vs projectivity
+// at fixed selectivity.
+func Fig15ProjectivitySweep(kind SweepQueryKind, selectivity float64, records int) (*Figure, error) {
+	name := "fig15-arith-proj"
+	if kind == Aggregate {
+		name = "fig15-aggr-proj"
+	}
+	fig := &Figure{ID: fmt.Sprintf("%s-s%.0f", name, selectivity*100)}
+	for _, proj := range Fig15Projectivities() {
+		vals, err := RunSweepPoint(SweepPoint{Query: kind, Selectivity: selectivity, Projected: proj}, records)
+		if err != nil {
+			return nil, err
+		}
+		x := fmt.Sprintf("%d", proj)
+		for d, v := range vals {
+			fig.Cells = append(fig.Cells, Cell{X: x, Design: d, Value: v})
+		}
+	}
+	return fig, nil
+}
+
+// Fig15RecordSizeSweep runs panel (i): all fields projected, 100% selected,
+// record size varied.
+func Fig15RecordSizeSweep(records int) (*Figure, error) {
+	fig := &Figure{ID: "fig15i"}
+	for _, rb := range Fig15RecordSizes() {
+		fields := rb / imdb.FieldBytes
+		vals, err := RunSweepPoint(SweepPoint{
+			Query: Arithmetic, Selectivity: 1.0, Projected: fields, RecordBytes: rb,
+		}, records)
+		if err != nil {
+			return nil, err
+		}
+		x := fmt.Sprintf("%dB", rb)
+		for d, v := range vals {
+			fig.Cells = append(fig.Cells, Cell{X: x, Design: d, Value: v})
+		}
+	}
+	return fig, nil
+}

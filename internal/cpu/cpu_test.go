@@ -1,0 +1,64 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Params{
+		{ClockGHz: 0, Cores: 4, MissWindow: 16},
+		{ClockGHz: 4, Cores: 0, MissWindow: 16},
+		{ClockGHz: 4, Cores: 4, MissWindow: 0},
+		{ClockGHz: 4, Cores: 4, MissWindow: 16, LatencyOverlap: 2},
+		{ClockGHz: 4, Cores: 4, MissWindow: 16, ComputePerField: -1},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestBusCyclesConversion(t *testing.T) {
+	p := Default()
+	// 4 CPU cycles at 4 GHz = 1 ns = 1.2 bus cycles at 1200 MHz, split
+	// over 4 cores = 0.3.
+	got := p.BusCyclesPer(4, 1200)
+	if math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("conversion = %v, want 0.3", got)
+	}
+	single := p
+	single.Cores = 1
+	if math.Abs(single.BusCyclesPer(4, 1200)-1.2) > 1e-12 {
+		t.Fatal("single-core conversion")
+	}
+	zero := p
+	zero.Cores = 0
+	if zero.BusCyclesPer(4, 1200) != single.BusCyclesPer(4, 1200) {
+		t.Fatal("zero cores should clamp to one")
+	}
+}
+
+func TestWindowSize(t *testing.T) {
+	p := Default()
+	if p.WindowSize() != 64 {
+		t.Fatalf("window = %d, want 16x4", p.WindowSize())
+	}
+	p.Cores = 0
+	if p.WindowSize() != 16 {
+		t.Fatal("zero cores should clamp to one")
+	}
+}
+
+func TestStrideOpNames(t *testing.T) {
+	if SLoad.String() != "sload" || SStore.String() != "sstore" {
+		t.Fatal("ISA mnemonic names (Section 5.1.2)")
+	}
+}

@@ -1,0 +1,311 @@
+// Package design defines the evaluated memory-design points — baseline
+// row-store DRAM, the three SAM variants, GS-DRAM (with and without
+// embedded ECC), the two RC-NVM variants, and the per-query ideal — as
+// configuration over the dram/nvm timing models, the power models, the
+// chipkill schemes, and the data-layout/access-generation rules each design
+// imposes on the IMDB tables.
+package design
+
+import (
+	"fmt"
+
+	"sam/internal/area"
+	"sam/internal/dram"
+	"sam/internal/ecc"
+	"sam/internal/nvm"
+	"sam/internal/power"
+)
+
+// Kind enumerates the design points of the evaluation (Fig. 12).
+type Kind int
+
+// Design kinds.
+const (
+	Baseline Kind = iota // commodity DRAM, row store (normalization base)
+	Ideal                // row- or column-store, whichever the query prefers
+	SAMSub
+	SAMIO
+	SAMEn
+	GSDRAM
+	GSDRAMecc
+	RCNVMBit
+	RCNVMWd
+)
+
+// String names the kind as the paper does.
+func (k Kind) String() string {
+	switch k {
+	case Baseline:
+		return "baseline"
+	case Ideal:
+		return "ideal"
+	case SAMSub:
+		return "SAM-sub"
+	case SAMIO:
+		return "SAM-IO"
+	case SAMEn:
+		return "SAM-en"
+	case GSDRAM:
+		return "GS-DRAM"
+	case GSDRAMecc:
+		return "GS-DRAM-ecc"
+	case RCNVMBit:
+		return "RC-NVM-bit"
+	case RCNVMWd:
+		return "RC-NVM-wd"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Granularity is the strided access granularity (Section 4.4 / Fig. 14b):
+// how many bytes one chip-level symbol group contributes and how many
+// consecutive cachelines one strided burst reaches.
+type Granularity struct {
+	BitsPerChip int  // 16, 8, or 4
+	SectorBytes int  // strided datum (cache sector) size
+	Reach       int  // cachelines gathered per strided burst
+	Gang        bool // 4-bit granularity drives both ranks (Fig. 9e)
+}
+
+// Gran16, Gran8, Gran4 are the Fig. 14b sweep points. Gran4 matches the
+// default SSC-DSD configuration of the evaluation.
+var (
+	Gran16 = Granularity{BitsPerChip: 16, SectorBytes: 32, Reach: 2}
+	Gran8  = Granularity{BitsPerChip: 8, SectorBytes: 16, Reach: 4}
+	Gran4  = Granularity{BitsPerChip: 4, SectorBytes: 8, Reach: 8, Gang: true}
+)
+
+// Design is one fully configured design point.
+type Design struct {
+	Kind Kind
+	Name string
+
+	Mem   dram.Config
+	Power power.Model
+
+	// Strided capability. Reach 0 means no strided support.
+	Gran Granularity
+
+	// ModeSwitch: accesses use SAM I/O modes (tRTR per switch). GS-DRAM
+	// instead extends the command interface (no switch penalty, Table 1).
+	ModeSwitch bool
+
+	// ColumnEngine: strided data comes from a dual-addressed column
+	// direction (SAM-sub, RC-NVM) rather than the I/O buffers, which also
+	// forces the interleaved stripe record layout (and its Qs penalty).
+	ColumnEngine bool
+
+	// SubFieldSplit multiplies strided bursts (RC-NVM-bit's bit-level
+	// symmetry gathers a field group in several narrower column accesses).
+	SubFieldSplit int
+
+	// ChunkRecords is the record-interleave unit of the stripe layout:
+	// consecutive records switch to the next row of the same bank every
+	// ChunkRecords records. Smaller chunks mean worse row locality for
+	// row-wise (Qs) scans — RC-NVM's KB-scale alignment (2) hurts more
+	// than SAM-sub's (8).
+	ChunkRecords int
+
+	// ECCReadPeriod: one extra embedded-ECC burst per this many strided
+	// read bursts (GS-DRAM-ecc); 0 disables. ECCRegularPeriod does the same
+	// for regular line fills (embedded ECC displaces data everywhere).
+	// ECCWriteRMW adds an ECC read-modify-write pair per strided write
+	// fetch period.
+	ECCReadPeriod    int
+	ECCRegularPeriod int
+	ECCWriteRMW      bool
+
+	// NoCriticalWordFirst marks layouts that cannot deliver the critical
+	// word first (SAM-IO's transposed codewords, GS-DRAM's concentrated
+	// words): the requested datum arrives at the end of the burst instead
+	// of the start — a small (<1%) latency cost, per Section 4.2.2.
+	NoCriticalWordFirst bool
+
+	// Chipkill is the codeword scheme the design can sustain; HasECC is
+	// false for plain GS-DRAM (its headline limitation).
+	Chipkill ecc.Scheme
+	HasECC   bool
+
+	// Area is the silicon/storage overhead model (Fig. 14c).
+	Area area.Overhead
+}
+
+// SupportsStride reports whether the design accelerates strided access.
+func (d *Design) SupportsStride() bool { return d.Gran.Reach > 1 }
+
+// SectorsPerLine returns the sector-cache geometry the design needs.
+func (d *Design) SectorsPerLine() int {
+	if !d.SupportsStride() {
+		return 1
+	}
+	return d.Mem.Geometry.LineBytes / d.Gran.SectorBytes
+}
+
+// Substrate selects the memory technology for the Fig. 14a swap study.
+type Substrate int
+
+// Substrates.
+const (
+	DRAM Substrate = iota
+	NVM
+)
+
+// String names the substrate.
+func (s Substrate) String() string {
+	if s == NVM {
+		return "NVM"
+	}
+	return "DRAM"
+}
+
+func baseConfig(s Substrate) dram.Config {
+	if s == NVM {
+		return dram.RRAM()
+	}
+	return dram.DDR4_2400()
+}
+
+func basePower(s Substrate, chips int) power.Model {
+	if s == NVM {
+		return power.RRAMModel(chips)
+	}
+	return power.DDR4Model(chips)
+}
+
+// Options tweak design construction.
+type Options struct {
+	Gran      Granularity // zero value selects the design default (Gran4)
+	Substrate Substrate   // Fig. 14a swap; designs default to their paper substrate
+	// SubstrateSet forces Substrate to be honored even for designs with a
+	// fixed paper substrate.
+	SubstrateSet bool
+}
+
+func (o Options) gran() Granularity {
+	if o.Gran.Reach == 0 {
+		return Gran4
+	}
+	return o.Gran
+}
+
+// chipsFor returns rank width for power accounting under the scheme.
+func chipsFor(scheme ecc.Scheme) int {
+	if scheme == ecc.SchemeSSCDSD {
+		return ecc.SSCDSDChips
+	}
+	return ecc.SSCChips
+}
+
+// schemeFor maps granularity to the chipkill scheme it pairs with
+// (Section 4.4: 4-bit symbols belong to SSC-DSD, 8-bit to SSC).
+func schemeFor(g Granularity) ecc.Scheme {
+	if g.BitsPerChip == 4 {
+		return ecc.SchemeSSCDSD
+	}
+	return ecc.SchemeSSC
+}
+
+// New builds a design point.
+func New(kind Kind, opts Options) *Design {
+	g := opts.gran()
+	scheme := schemeFor(g)
+	chips := chipsFor(scheme)
+
+	sub := DRAM
+	switch kind {
+	case RCNVMBit, RCNVMWd:
+		sub = NVM
+	}
+	if opts.SubstrateSet {
+		sub = opts.Substrate
+	}
+
+	d := &Design{
+		Kind:     kind,
+		Name:     kind.String(),
+		Mem:      baseConfig(sub),
+		Power:    basePower(sub, chips),
+		Chipkill: scheme,
+		HasECC:   true,
+	}
+
+	switch kind {
+	case Baseline, Ideal:
+		// No strided support; plain layouts.
+	case SAMSub:
+		d.Gran = g
+		d.ColumnEngine = true
+		d.ChunkRecords = 8
+		d.ModeSwitch = true
+		d.Area = area.SAMSub()
+		d.Mem.Timing = d.Mem.Timing.Scale(area.TimingInflation(d.Area))
+		d.Power.BackgroundScale = 1.02 // extra decode + SA logic (Section 6.1)
+	case SAMIO:
+		d.Gran = g
+		d.ModeSwitch = true
+		d.NoCriticalWordFirst = true
+		d.Area = area.SAMIO()
+		// Stride fetches energize the x16 datapath.
+		if sub == DRAM {
+			d.Power.Stride = power.DDR4x16()
+		}
+	case SAMEn:
+		d.Gran = g
+		d.ModeSwitch = true
+		d.Area = area.SAMEn()
+		d.Mem.Timing = d.Mem.Timing.Scale(area.TimingInflation(d.Area))
+		// Fine-grained activation: only the mats holding requested data
+		// open, restoring x4-class stride power and cheaper ACTs.
+		d.Power.ActChipFraction = 0.25
+	case GSDRAM:
+		// GS-DRAM gathers across chips by driving different rows per chip,
+		// so its reach matches SAM's without rank ganging — but it runs
+		// without any ECC (its headline limitation).
+		d.Gran = g
+		d.Gran.Gang = false
+		d.HasECC = false
+		d.NoCriticalWordFirst = true
+		d.Area = area.GSDRAM()
+	case GSDRAMecc:
+		d.Gran = g
+		d.Gran.Gang = false
+		d.NoCriticalWordFirst = true
+		d.ECCReadPeriod = 2
+		d.ECCRegularPeriod = 8
+		d.ECCWriteRMW = true
+		d.Area = area.GSDRAMecc()
+	case RCNVMBit:
+		d.Gran = g
+		d.Gran.Gang = false
+		d.ColumnEngine = true
+		d.ChunkRecords = 2
+		d.SubFieldSplit = 2
+		if sub == NVM {
+			d.Mem = nvm.ReshapedSquare()
+		}
+		d.Area = area.RCNVMBit()
+		d.Mem.Timing = d.Mem.Timing.Scale(area.TimingInflation(d.Area))
+	case RCNVMWd:
+		d.Gran = g
+		d.Gran.Gang = false
+		d.ColumnEngine = true
+		d.ChunkRecords = 2
+		if sub == NVM {
+			d.Mem = nvm.ReshapedSquare()
+		}
+		d.Area = area.RCNVMWord()
+		d.Mem.Timing = d.Mem.Timing.Scale(area.TimingInflation(d.Area))
+	default:
+		panic(fmt.Sprintf("design: unknown kind %v", kind))
+	}
+	if d.SubFieldSplit == 0 {
+		d.SubFieldSplit = 1
+	}
+	return d
+}
+
+// AllEvaluated returns the Fig. 12 comparison set in presentation order.
+func AllEvaluated() []Kind {
+	return []Kind{RCNVMBit, RCNVMWd, GSDRAM, GSDRAMecc, SAMSub, SAMIO, SAMEn, Ideal}
+}

@@ -1,0 +1,406 @@
+package design
+
+import (
+	"fmt"
+
+	"sam/internal/imdb"
+	"sam/internal/mc"
+)
+
+// Txn is one CPU-visible memory touch the executor generates. The cache
+// decides hit or miss; Group describes how a miss is served when the design
+// fetches strided groups instead of single lines.
+type Txn struct {
+	Addr     uint64
+	Size     int
+	Write    bool
+	Sectored bool
+	Group    *StrideGroup
+}
+
+// LineFill names one cacheline (partially) filled by a strided fetch.
+type LineFill struct {
+	LineAddr uint64
+	Sectors  uint64
+}
+
+// StrideGroup describes the memory-side strided fetch serving a miss: one
+// (or SubFieldSplit) strided burst(s) at ReqAddr that fill the listed
+// sectors, plus any embedded-ECC companion traffic.
+type StrideGroup struct {
+	ReqAddr uint64
+	Lane    int
+	Gang    bool
+	Bursts  int // usually 1; RC-NVM-bit's sub-field gather needs more
+	Fills   []LineFill
+}
+
+// Placer turns logical (record, field) coordinates into transactions under
+// one design's data layout. A Placer is built per (design, table, store).
+type Placer struct {
+	D      *Design
+	Schema imdb.Schema
+	// ColStore lays the table out column-major (the ideal design's choice
+	// for column-preferring queries).
+	ColStore bool
+	// Slot separates tables in the physical address space.
+	Slot int
+
+	amap      *mc.AddrMap
+	base      uint64
+	lineBytes int
+	rowBytes  int
+
+	// Hybrid layout state (nil unless built with NewPlacerHybrid).
+	hotFields       []int
+	hotIdx          map[int]int
+	coldOff         map[int]int
+	coldRecordBytes int
+	coldBase        uint64
+
+	// Stripe geometry (column engines).
+	recordsPerStripe int
+	totalBanks       int
+	rowsPerBank      int
+	stripeRowBase    int // row-wise rows, per-bank, where this table starts
+	colRowBase       int // synthetic column-direction row space
+}
+
+// slotBytes is the address-space stride between table slots.
+const slotBytes = 1 << 30
+
+// NewPlacer builds a placer; it panics on unusable geometry (records larger
+// than a DRAM row are outside the paper's design space).
+func NewPlacer(d *Design, schema imdb.Schema, slot int, colStore bool) *Placer {
+	p := &Placer{
+		D:         d,
+		Schema:    schema,
+		ColStore:  colStore,
+		Slot:      slot,
+		amap:      mc.NewAddrMap(d.Mem.Geometry),
+		base:      uint64(slot) * slotBytes,
+		lineBytes: d.Mem.Geometry.LineBytes,
+		rowBytes:  d.Mem.Geometry.RowBytes,
+	}
+	if schema.RecordBytes() > p.rowBytes {
+		panic(fmt.Sprintf("design: record %dB exceeds row %dB", schema.RecordBytes(), p.rowBytes))
+	}
+	if d.ColumnEngine {
+		n := d.Gran.Reach
+		p.recordsPerStripe = n * p.rowBytes / schema.RecordBytes()
+		if p.recordsPerStripe < n {
+			p.recordsPerStripe = n
+		}
+		p.totalBanks = d.Mem.Geometry.TotalBanks()
+		p.rowsPerBank = d.Mem.Geometry.RowsPerBank()
+		region := p.rowsPerBank / 8
+		p.stripeRowBase = slot * region
+		p.colRowBase = p.rowsPerBank/2 + slot*region
+	}
+	return p
+}
+
+// fieldOffset returns the byte offset of a field within its record.
+func fieldOffset(field int) int { return field * imdb.FieldBytes }
+
+// seqAddr is the plain row-store address.
+func (p *Placer) seqAddr(rec, field int) uint64 {
+	return p.base + uint64(rec)*uint64(p.Schema.RecordBytes()) + uint64(fieldOffset(field))
+}
+
+// colAddr is the column-store address (field-major).
+func (p *Placer) colAddr(rec, field int) uint64 {
+	return p.base + (uint64(field)*uint64(p.Schema.Records)+uint64(rec))*imdb.FieldBytes
+}
+
+// stripeCoords decomposes a record for the stripe layout of column-engine
+// designs (Fig. 11a with RC-NVM's row-scale alignment): a stripe is Reach
+// rows of one bank; records fill each row contiguously before moving to the
+// next row of the same bank — so row-wise scans conflict at row boundaries
+// in one bank, and the column direction gathers the same in-row position
+// across the stripe's rows.
+// Records are dealt to the stripe's rows in chunks of ChunkRecords, so a
+// row-wise scan switches rows (same bank) every chunk; pos is the record's
+// position within its row.
+func (p *Placer) stripeCoords(rec int) (stripe, rowInStripe, pos int) {
+	stripe = rec / p.recordsPerStripe
+	r := rec % p.recordsPerStripe
+	c := p.chunkRecords()
+	n := p.D.Gran.Reach
+	chunk, off := r/c, r%c
+	rowInStripe = chunk % n
+	pos = (chunk/n)*c + off
+	return stripe, rowInStripe, pos
+}
+
+func (p *Placer) chunkRecords() int {
+	c := p.D.ChunkRecords
+	if c < 1 {
+		c = 1
+	}
+	perRow := p.recordsPerRow()
+	if c > perRow {
+		c = perRow
+	}
+	return c
+}
+
+func (p *Placer) recordsPerRow() int {
+	perRow := p.rowBytes / p.Schema.RecordBytes()
+	if perRow < 1 {
+		perRow = 1
+	}
+	return perRow
+}
+
+// stripeRowAddr is the row-wise (record-order) address in the stripe
+// layout.
+func (p *Placer) stripeRowAddr(rec, field int) uint64 {
+	stripe, rowInStripe, pos := p.stripeCoords(rec)
+	bank := stripe % p.totalBanks
+	rowInBank := p.stripeRowBase + (stripe/p.totalBanks)*p.D.Gran.Reach + rowInStripe
+	byteInRow := pos*p.Schema.RecordBytes() + fieldOffset(field)
+	return p.encodeBankRow(bank, rowInBank, byteInRow)
+}
+
+// stripeColAddr is the synthetic column-direction address used for the
+// timing of a strided gather: the "row" is (stripe, line-of-record), so
+// scanning one field walks columns (row hits) while switching to a field in
+// a different record line forces a row conflict in the same bank — the
+// field-switch cost of Section 6.2.
+func (p *Placer) stripeColAddr(rec, field int) uint64 {
+	stripe, _, pos := p.stripeCoords(rec)
+	bank := stripe % p.totalBanks
+	fieldLine := fieldOffset(field) / p.lineBytes
+	linesPerRecord := (p.Schema.RecordBytes() + p.lineBytes - 1) / p.lineBytes
+	rowInBank := p.colRowBase + (stripe/p.totalBanks)*linesPerRecord + fieldLine
+	byteInRow := (pos * p.lineBytes) % p.rowBytes
+	return p.encodeBankRow(bank, rowInBank, byteInRow)
+}
+
+func (p *Placer) encodeBankRow(bank, row, byteInRow int) uint64 {
+	g := p.D.Mem.Geometry
+	co := mc.Coord{
+		Rank:   bank / g.Banks(),
+		Group:  (bank % g.Banks()) % g.BankGroups,
+		Bank:   (bank % g.Banks()) / g.BankGroups,
+		Row:    row,
+		Col:    byteInRow / p.lineBytes,
+		Offset: byteInRow % p.lineBytes,
+	}
+	return p.amap.Encode(co)
+}
+
+// canonAddr is the CPU-visible address of (rec, field) — what the cache is
+// indexed by.
+func (p *Placer) canonAddr(rec, field int) uint64 {
+	switch {
+	case p.hotIdx != nil:
+		return p.hybridAddr(rec, field)
+	case p.ColStore:
+		return p.colAddr(rec, field)
+	case p.D.ColumnEngine:
+		return p.stripeRowAddr(rec, field)
+	default:
+		return p.seqAddr(rec, field)
+	}
+}
+
+func (p *Placer) lineOf(addr uint64) uint64 {
+	return addr &^ uint64(p.lineBytes-1)
+}
+
+func (p *Placer) sectorBit(addr uint64) uint64 {
+	off := int(addr) & (p.lineBytes - 1)
+	return 1 << uint(off/p.D.Gran.SectorBytes)
+}
+
+// groupMembers returns the records one strided burst gathers along with
+// rec. For I/O-buffer designs that is Reach *consecutive* aligned records
+// (Fig. 11a); for column engines it is the records at rec's in-row
+// position across the stripe's Reach rows (the crossbar's column
+// direction).
+func (p *Placer) groupMembers(rec int) []int {
+	n := p.D.Gran.Reach
+	members := make([]int, 0, n)
+	if !p.D.ColumnEngine {
+		first := (rec / n) * n
+		for r := first; r < first+n && r < p.Schema.Records; r++ {
+			members = append(members, r)
+		}
+		return members
+	}
+	stripe, _, pos := p.stripeCoords(rec)
+	c := p.chunkRecords()
+	slot, off := pos/c, pos%c
+	for row := 0; row < n; row++ {
+		chunk := slot*n + row
+		r := stripe*p.recordsPerStripe + chunk*c + off
+		if r < p.Schema.Records {
+			members = append(members, r)
+		}
+	}
+	return members
+}
+
+// strideGroup builds the gather serving field accesses of rec's alignment
+// group: the same field sector of the group's records in one burst.
+func (p *Placer) strideGroup(rec, field int) *StrideGroup {
+	g := &StrideGroup{
+		Lane:   (fieldOffset(field) / p.D.Gran.SectorBytes) % 4,
+		Gang:   p.D.Gran.Gang,
+		Bursts: p.D.SubFieldSplit,
+	}
+	members := p.groupMembers(rec)
+	if p.D.ColumnEngine {
+		g.ReqAddr = p.stripeColAddr(members[0], field)
+	} else {
+		g.ReqAddr = p.seqAddr(members[0], field)
+	}
+	// Collect the (line, sector) fills, merging records that share a line.
+	fills := map[uint64]uint64{}
+	var order []uint64
+	for _, r := range members {
+		addr := p.canonAddr(r, field)
+		line := p.lineOf(addr)
+		if _, ok := fills[line]; !ok {
+			order = append(order, line)
+		}
+		fills[line] |= p.sectorBit(addr)
+	}
+	for _, line := range order {
+		g.Fills = append(g.Fills, LineFill{LineAddr: line, Sectors: fills[line]})
+	}
+	return g
+}
+
+// fieldTxn builds the transaction for one field access.
+func (p *Placer) fieldTxn(rec, field int, write bool) Txn {
+	t := Txn{
+		Addr:  p.canonAddr(rec, field),
+		Size:  imdb.FieldBytes,
+		Write: write,
+	}
+	if p.D.SupportsStride() && !p.ColStore && p.hotIdx == nil {
+		t.Sectored = true
+		t.Group = p.strideGroup(rec, field)
+	}
+	return t
+}
+
+// ReadField returns the transaction reading one field.
+func (p *Placer) ReadField(rec, field int) Txn { return p.fieldTxn(rec, field, false) }
+
+// WriteField returns the transaction writing one field (sstore path on
+// strided designs).
+func (p *Placer) WriteField(rec, field int) Txn { return p.fieldTxn(rec, field, true) }
+
+// recordTxns covers a whole record line by line (row-wise access).
+func (p *Placer) recordTxns(rec int, write bool) []Txn {
+	rb := p.Schema.RecordBytes()
+	if p.hotIdx != nil {
+		// Hybrid: hot fields scattered across their columns, cold fields in
+		// one contiguous shrunken record.
+		var txns []Txn
+		for _, f := range p.hotFields {
+			txns = append(txns, Txn{Addr: p.hybridAddr(rec, f), Size: imdb.FieldBytes, Write: write})
+		}
+		start := p.coldBase + uint64(rec)*uint64(p.coldRecordBytes)
+		for off := 0; off < p.coldRecordBytes; {
+			addr := start + uint64(off)
+			span := p.lineBytes - int(addr)&(p.lineBytes-1)
+			if span > p.coldRecordBytes-off {
+				span = p.coldRecordBytes - off
+			}
+			txns = append(txns, Txn{Addr: addr, Size: span, Write: write})
+			off += span
+		}
+		return txns
+	}
+	if p.ColStore {
+		// Column store scatters the record across field columns.
+		txns := make([]Txn, 0, p.Schema.Fields)
+		for f := 0; f < p.Schema.Fields; f++ {
+			txns = append(txns, Txn{Addr: p.colAddr(rec, f), Size: imdb.FieldBytes, Write: write})
+		}
+		return txns
+	}
+	var txns []Txn
+	start := p.canonAddr(rec, 0)
+	for off := 0; off < rb; {
+		addr := start + uint64(off)
+		span := p.lineBytes - int(addr)&(p.lineBytes-1)
+		if span > rb-off {
+			span = rb - off
+		}
+		txns = append(txns, Txn{Addr: addr, Size: span, Write: write})
+		off += span
+	}
+	return txns
+}
+
+// ReadRecord returns the transactions reading a whole record.
+func (p *Placer) ReadRecord(rec int) []Txn { return p.recordTxns(rec, false) }
+
+// WriteRecord returns the transactions writing a whole record (INSERT).
+func (p *Placer) WriteRecord(rec int) []Txn { return p.recordTxns(rec, true) }
+
+// ECCReadCompanion returns the embedded-ECC read that accompanies every
+// ECCReadPeriod-th strided fetch on GS-DRAM-ecc: the check bits live in the
+// same page, one line over.
+func (p *Placer) ECCReadCompanion(g *StrideGroup) uint64 {
+	return g.ReqAddr + uint64(p.lineBytes)
+}
+
+// Footprint returns the table's byte footprint under this layout (used by
+// capacity checks; stripe layouts are accounted in row regions instead).
+func (p *Placer) Footprint() uint64 {
+	return uint64(p.Schema.Records) * uint64(p.Schema.RecordBytes())
+}
+
+// Hybrid storage (the H2O/Peloton-style scenario Section 6.2's sweeps
+// motivate): a chosen subset of hot fields is stored column-major while
+// the remaining cold fields stay row-major. Scans of hot fields get
+// column-store efficiency without SAM hardware; everything else pays the
+// split-record cost.
+
+// NewPlacerHybrid builds a placer whose hot fields are columnar. It panics
+// if hotFields repeats or exceeds the schema.
+func NewPlacerHybrid(d *Design, schema imdb.Schema, slot int, hotFields []int) *Placer {
+	p := NewPlacer(d, schema, slot, false)
+	seen := map[int]bool{}
+	for _, f := range hotFields {
+		if f < 0 || f >= schema.Fields || seen[f] {
+			panic(fmt.Sprintf("design: bad hybrid hot field %d", f))
+		}
+		seen[f] = true
+	}
+	p.hotFields = append([]int(nil), hotFields...)
+	p.hotIdx = make(map[int]int, len(hotFields))
+	for i, f := range hotFields {
+		p.hotIdx[f] = i
+	}
+	// Cold fields keep their relative order, packed into shrunken records.
+	p.coldOff = make(map[int]int, schema.Fields-len(hotFields))
+	off := 0
+	for f := 0; f < schema.Fields; f++ {
+		if !seen[f] {
+			p.coldOff[f] = off
+			off += imdb.FieldBytes
+		}
+	}
+	p.coldRecordBytes = off
+	p.coldBase = p.base + uint64(len(hotFields))*uint64(schema.Records)*imdb.FieldBytes
+	return p
+}
+
+// Hybrid reports whether the placer uses the hybrid layout.
+func (p *Placer) Hybrid() bool { return p.hotIdx != nil }
+
+// hybridAddr resolves (rec, field) under the hybrid layout.
+func (p *Placer) hybridAddr(rec, field int) uint64 {
+	if i, hot := p.hotIdx[field]; hot {
+		return p.base + (uint64(i)*uint64(p.Schema.Records)+uint64(rec))*imdb.FieldBytes
+	}
+	return p.coldBase + uint64(rec)*uint64(p.coldRecordBytes) + uint64(p.coldOff[field])
+}

@@ -1,0 +1,413 @@
+package design
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sam/internal/imdb"
+	"sam/internal/mc"
+)
+
+func taPlacer(kind Kind, records int) *Placer {
+	return NewPlacer(New(kind, Options{}), imdb.Ta(records), 0, false)
+}
+
+func TestSeqLayoutAddresses(t *testing.T) {
+	p := taPlacer(Baseline, 1024)
+	if a := p.ReadField(0, 0).Addr; a != 0 {
+		t.Fatalf("record 0 field 0 at %x", a)
+	}
+	if a := p.ReadField(2, 3).Addr; a != 2*1024+24 {
+		t.Fatalf("record 2 field 3 at %x, want %x", a, 2*1024+24)
+	}
+}
+
+func TestSeqLayoutInjective(t *testing.T) {
+	p := taPlacer(Baseline, 256)
+	seen := map[uint64]bool{}
+	for r := 0; r < 256; r++ {
+		for f := 0; f < 128; f += 7 {
+			a := p.ReadField(r, f).Addr
+			if seen[a] {
+				t.Fatalf("address collision at rec %d field %d", r, f)
+			}
+			seen[a] = true
+		}
+	}
+}
+
+func TestColStoreLayout(t *testing.T) {
+	d := New(Ideal, Options{})
+	p := NewPlacer(d, imdb.Ta(1024), 0, true)
+	// Same field of consecutive records is contiguous.
+	a0 := p.ReadField(0, 5).Addr
+	a1 := p.ReadField(1, 5).Addr
+	if a1-a0 != imdb.FieldBytes {
+		t.Fatalf("column store stride = %d, want %d", a1-a0, imdb.FieldBytes)
+	}
+	// Different fields are a full column apart.
+	b := p.ReadField(0, 6).Addr
+	if b-a0 != 1024*imdb.FieldBytes {
+		t.Fatalf("column gap = %d", b-a0)
+	}
+}
+
+func TestSlotSeparation(t *testing.T) {
+	d := New(Baseline, Options{})
+	p0 := NewPlacer(d, imdb.Ta(1024), 0, false)
+	p1 := NewPlacer(d, imdb.Tb(1024), 1, false)
+	if p0.ReadField(1023, 127).Addr >= p1.ReadField(0, 0).Addr {
+		t.Fatal("table slots overlap")
+	}
+}
+
+func TestStrideGroupConsecutiveForIOBufferDesigns(t *testing.T) {
+	p := taPlacer(SAMEn, 1024)
+	for _, rec := range []int{0, 5, 9, 1000} {
+		members := p.groupMembers(rec)
+		if len(members) != 8 {
+			t.Fatalf("rec %d: group size %d, want reach 8", rec, len(members))
+		}
+		first := (rec / 8) * 8
+		for i, m := range members {
+			if m != first+i {
+				t.Fatalf("rec %d: member %d = %d, want %d", rec, i, m, first+i)
+			}
+		}
+	}
+}
+
+func TestStrideGroupCoversRequester(t *testing.T) {
+	// Whatever the design, the group gathered for rec must include rec —
+	// otherwise the fetch would not satisfy the miss.
+	for _, kind := range []Kind{SAMEn, SAMSub, GSDRAM, RCNVMWd} {
+		p := taPlacer(kind, 4096)
+		f := func(rec uint16) bool {
+			r := int(rec) % 4096
+			for _, m := range p.groupMembers(r) {
+				if m == r {
+					return true
+				}
+			}
+			return false
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%v: %v", kind, err)
+		}
+	}
+}
+
+func TestStrideGroupsPartitionRecords(t *testing.T) {
+	// Group membership is an equivalence relation: every record belongs to
+	// exactly one group, and all members agree on the group.
+	for _, kind := range []Kind{SAMEn, SAMSub, RCNVMWd} {
+		p := taPlacer(kind, 512)
+		for rec := 0; rec < 512; rec += 13 {
+			members := p.groupMembers(rec)
+			for _, m := range members {
+				again := p.groupMembers(m)
+				if len(again) != len(members) {
+					t.Fatalf("%v: asymmetric group size at %d/%d", kind, rec, m)
+				}
+				for i := range members {
+					if again[i] != members[i] {
+						t.Fatalf("%v: group differs between members %d and %d", kind, rec, m)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStrideGroupFillsMatchSectors(t *testing.T) {
+	p := taPlacer(SAMEn, 1024)
+	txn := p.ReadField(16, 10) // f10: byte 80 of the record
+	if !txn.Sectored || txn.Group == nil {
+		t.Fatal("strided design should emit sectored group transactions")
+	}
+	// All 8 members' f10 sectors must be covered by the fills.
+	covered := map[uint64]uint64{}
+	for _, f := range txn.Group.Fills {
+		covered[f.LineAddr] |= f.Sectors
+	}
+	for _, m := range p.groupMembers(16) {
+		addr := p.canonAddr(m, 10)
+		line := p.lineOf(addr)
+		bit := p.sectorBit(addr)
+		if covered[line]&bit == 0 {
+			t.Fatalf("member %d's f10 sector not filled", m)
+		}
+	}
+}
+
+func TestStrideGroupDegeneratesForTinyRecords(t *testing.T) {
+	// 8B records: the whole group lives in one cacheline; the fetch is one
+	// line's worth of sectors.
+	d := New(SAMEn, Options{})
+	p := NewPlacer(d, imdb.Schema{Name: "T", Fields: 1, Records: 256}, 0, false)
+	txn := p.ReadField(0, 0)
+	if len(txn.Group.Fills) != 1 {
+		t.Fatalf("tiny records: %d fills, want 1", len(txn.Group.Fills))
+	}
+	if txn.Group.Fills[0].Sectors != 0xFF {
+		t.Fatalf("tiny records: sector mask %x, want all 8", txn.Group.Fills[0].Sectors)
+	}
+}
+
+func TestStripeLayoutRowSwitchCadence(t *testing.T) {
+	// Column-engine layouts switch DRAM rows every ChunkRecords records —
+	// the Qs penalty knob. Verify via decoded coordinates.
+	d := New(SAMSub, Options{})
+	p := NewPlacer(d, imdb.Tb(4096), 0, false)
+	am := mc.NewAddrMap(d.Mem.Geometry)
+	chunk := d.ChunkRecords
+	prev := am.Decode(p.ReadField(0, 0).Addr)
+	switches := 0
+	for rec := 1; rec < 256; rec++ {
+		co := am.Decode(p.ReadField(rec, 0).Addr)
+		if co.Row != prev.Row {
+			switches++
+			if rec%chunk != 0 {
+				t.Fatalf("row switch at record %d, not a multiple of chunk %d", rec, chunk)
+			}
+		}
+		prev = co
+	}
+	if switches == 0 {
+		t.Fatal("no row switches observed in stripe layout")
+	}
+}
+
+func TestStripeLayoutSameBankWithinStripe(t *testing.T) {
+	d := New(RCNVMWd, Options{})
+	p := NewPlacer(d, imdb.Tb(4096), 0, false)
+	am := mc.NewAddrMap(d.Mem.Geometry)
+	// All records of one stripe share a bank (the paper's "multiple rows in
+	// the same bank").
+	first := am.Decode(p.ReadField(0, 0).Addr)
+	for rec := 1; rec < p.recordsPerStripe && rec < 4096; rec++ {
+		co := am.Decode(p.ReadField(rec, 0).Addr)
+		if co.Rank != first.Rank || co.Group != first.Group || co.Bank != first.Bank {
+			t.Fatalf("record %d left the stripe bank", rec)
+		}
+	}
+}
+
+func TestStripeColumnAddressesDisjointFromRowAddresses(t *testing.T) {
+	// The synthetic column-direction rows must never collide with row-wise
+	// data rows (they model a second decoder over the same cells).
+	d := New(SAMSub, Options{})
+	p := NewPlacer(d, imdb.Ta(2048), 0, false)
+	am := mc.NewAddrMap(d.Mem.Geometry)
+	rowRows := map[int]bool{}
+	for rec := 0; rec < 2048; rec += 17 {
+		rowRows[am.Decode(p.ReadField(rec, 0).Addr).Row] = true
+	}
+	for rec := 0; rec < 2048; rec += 17 {
+		g := p.ReadField(rec, 3).Group
+		if g == nil {
+			t.Fatal("column engine without group")
+		}
+		if rowRows[am.Decode(g.ReqAddr).Row] {
+			t.Fatalf("column-direction row collides with data row at rec %d", rec)
+		}
+	}
+}
+
+func TestStripeFieldSwitchChangesColumnRow(t *testing.T) {
+	// Fields in different record lines must map to different column-
+	// direction rows (the RC-NVM field-switch penalty); fields in the same
+	// line share one.
+	d := New(RCNVMWd, Options{})
+	p := NewPlacer(d, imdb.Ta(2048), 0, false)
+	am := mc.NewAddrMap(d.Mem.Geometry)
+	rowOf := func(field int) int {
+		return am.Decode(p.ReadField(64, field).Group.ReqAddr).Row
+	}
+	if rowOf(3) != rowOf(4) {
+		t.Fatal("f3 and f4 share a record line; their gathers should share a column row")
+	}
+	if rowOf(3) == rowOf(10) {
+		t.Fatal("f3 and f10 live in different record lines; gathers must differ")
+	}
+}
+
+func TestRecordTxnsCoverWholeRecord(t *testing.T) {
+	for _, kind := range []Kind{Baseline, SAMEn, RCNVMWd} {
+		p := taPlacer(kind, 256)
+		txns := p.ReadRecord(7)
+		total := 0
+		for _, txn := range txns {
+			if txn.Write {
+				t.Fatalf("%v: read record produced a write", kind)
+			}
+			total += txn.Size
+		}
+		if total != 1024 {
+			t.Fatalf("%v: record txns cover %dB, want 1024", kind, total)
+		}
+	}
+}
+
+func TestRecordTxnsColumnStoreScatters(t *testing.T) {
+	d := New(Ideal, Options{})
+	p := NewPlacer(d, imdb.Ta(1024), 0, true)
+	txns := p.ReadRecord(3)
+	if len(txns) != 128 {
+		t.Fatalf("column-store record read has %d txns, want one per field", len(txns))
+	}
+}
+
+func TestWriteRecordMarksWrites(t *testing.T) {
+	p := taPlacer(Baseline, 64)
+	for _, txn := range p.WriteRecord(1) {
+		if !txn.Write {
+			t.Fatal("write record produced a read txn")
+		}
+	}
+}
+
+func TestLaneAssignment(t *testing.T) {
+	p := taPlacer(SAMEn, 64)
+	// Lane is derived from the sector index; different sectors of a line
+	// should spread over the four Sx4_n modes.
+	lanes := map[int]bool{}
+	for f := 0; f < 8; f++ {
+		lanes[p.ReadField(0, f).Group.Lane] = true
+	}
+	if len(lanes) < 2 {
+		t.Fatalf("lane assignment degenerate: %v", lanes)
+	}
+	for l := range lanes {
+		if l < 0 || l > 3 {
+			t.Fatalf("lane %d out of Sx4 range", l)
+		}
+	}
+}
+
+func TestOversizeRecordPanics(t *testing.T) {
+	d := New(Baseline, Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("record larger than a row accepted")
+		}
+	}()
+	NewPlacer(d, imdb.Schema{Name: "huge", Fields: 4096, Records: 4}, 0, false)
+}
+
+func TestFootprint(t *testing.T) {
+	p := taPlacer(Baseline, 1000)
+	if p.Footprint() != 1000*1024 {
+		t.Fatalf("footprint = %d", p.Footprint())
+	}
+}
+
+func TestECCReadCompanionNearby(t *testing.T) {
+	p := taPlacer(GSDRAMecc, 256)
+	g := p.ReadField(0, 10).Group
+	companion := p.ECCReadCompanion(g)
+	if companion == g.ReqAddr {
+		t.Fatal("ECC companion must be a different line")
+	}
+	am := mc.NewAddrMap(p.D.Mem.Geometry)
+	a, b := am.Decode(g.ReqAddr), am.Decode(companion)
+	if a.Row != b.Row || a.Bank != b.Bank {
+		t.Fatal("embedded ECC lives in the same page/row as its data")
+	}
+}
+
+func TestSubFieldSplitBursts(t *testing.T) {
+	bit := taPlacer(RCNVMBit, 256)
+	wd := taPlacer(RCNVMWd, 256)
+	if bit.ReadField(0, 3).Group.Bursts != 2*wd.ReadField(0, 3).Group.Bursts {
+		t.Fatal("RC-NVM-bit should need twice the column bursts per gather")
+	}
+}
+
+func TestHybridLayoutAddresses(t *testing.T) {
+	d := New(Baseline, Options{})
+	p := NewPlacerHybrid(d, imdb.Ta(1024), 0, []int{10, 3})
+	if !p.Hybrid() {
+		t.Fatal("not hybrid")
+	}
+	// Hot field 10 is column 0: consecutive records 8B apart.
+	a0 := p.ReadField(0, 10).Addr
+	a1 := p.ReadField(1, 10).Addr
+	if a1-a0 != imdb.FieldBytes {
+		t.Fatalf("hot column stride %d", a1-a0)
+	}
+	// Hot field 3 is column 1, a full column after.
+	b0 := p.ReadField(0, 3).Addr
+	if b0-a0 != 1024*imdb.FieldBytes {
+		t.Fatalf("second hot column at +%d", b0-a0)
+	}
+	// Cold fields are packed into shrunken (126-field) records.
+	c0 := p.ReadField(0, 0).Addr
+	c1 := p.ReadField(1, 0).Addr
+	if c1-c0 != 126*imdb.FieldBytes {
+		t.Fatalf("cold record stride %d, want %d", c1-c0, 126*imdb.FieldBytes)
+	}
+	// Field 4 (cold) sits right after fields 0,1,2 (field 3 is hot).
+	if p.ReadField(0, 4).Addr-c0 != 3*imdb.FieldBytes {
+		t.Fatal("cold packing skipped hot fields incorrectly")
+	}
+}
+
+func TestHybridLayoutInjective(t *testing.T) {
+	d := New(Baseline, Options{})
+	p := NewPlacerHybrid(d, imdb.Tb(512), 0, []int{10})
+	seen := map[uint64]bool{}
+	for rec := 0; rec < 512; rec++ {
+		for f := 0; f < 16; f++ {
+			a := p.ReadField(rec, f).Addr
+			if seen[a] {
+				t.Fatalf("hybrid collision at (%d,%d)", rec, f)
+			}
+			seen[a] = true
+		}
+	}
+}
+
+func TestHybridRecordTxnsDeterministic(t *testing.T) {
+	d := New(Baseline, Options{})
+	p := NewPlacerHybrid(d, imdb.Ta(64), 0, []int{10, 3, 77})
+	a := p.ReadRecord(5)
+	b := p.ReadRecord(5)
+	if len(a) != len(b) {
+		t.Fatal("txn counts differ")
+	}
+	total := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("hybrid record txns nondeterministic")
+		}
+		total += a[i].Size
+	}
+	if total != 1024 {
+		t.Fatalf("hybrid record covers %dB", total)
+	}
+}
+
+func TestHybridNeverStrides(t *testing.T) {
+	// Hybrid is a software layout: even on a SAM design it reads its hot
+	// columns with regular accesses.
+	d := New(SAMEn, Options{})
+	p := NewPlacerHybrid(d, imdb.Ta(64), 0, []int{10})
+	if txn := p.ReadField(0, 10); txn.Group != nil || txn.Sectored {
+		t.Fatal("hybrid layout emitted strided transactions")
+	}
+}
+
+func TestHybridValidation(t *testing.T) {
+	d := New(Baseline, Options{})
+	for _, bad := range [][]int{{-1}, {128}, {3, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("hot fields %v accepted", bad)
+				}
+			}()
+			NewPlacerHybrid(d, imdb.Ta(64), 0, bad)
+		}()
+	}
+}

@@ -1,0 +1,115 @@
+package dram
+
+import "fmt"
+
+// CmdKind enumerates DRAM commands the controller can issue.
+type CmdKind int
+
+// Command kinds.
+const (
+	CmdACT CmdKind = iota
+	CmdPRE
+	CmdRD
+	CmdWR
+	CmdREF
+	// CmdMRS models a mode-register write (the paper configures SAM's
+	// I/O modes through the existing MRS path, Section 5.3).
+	CmdMRS
+)
+
+// String names the command kind.
+func (k CmdKind) String() string {
+	switch k {
+	case CmdACT:
+		return "ACT"
+	case CmdPRE:
+		return "PRE"
+	case CmdRD:
+		return "RD"
+	case CmdWR:
+		return "WR"
+	case CmdREF:
+		return "REF"
+	case CmdMRS:
+		return "MRS"
+	default:
+		return fmt.Sprintf("CmdKind(%d)", int(k))
+	}
+}
+
+// IOMode is the chip I/O configuration selected by the mode register
+// (Fig. 7). Regular modes serialize one I/O buffer; stride modes fetch all
+// four buffers and serialize one lane of each.
+type IOMode int
+
+// I/O modes.
+const (
+	ModeX4 IOMode = iota
+	ModeX8
+	ModeX16
+	ModeStride0 // Sx4_0: lane 0 of each buffer
+	ModeStride1
+	ModeStride2
+	ModeStride3
+)
+
+// IsStride reports whether the mode is one of the Sx4_n stride modes.
+func (m IOMode) IsStride() bool { return m >= ModeStride0 }
+
+// String names the I/O mode.
+func (m IOMode) String() string {
+	switch m {
+	case ModeX4:
+		return "x4"
+	case ModeX8:
+		return "x8"
+	case ModeX16:
+		return "x16"
+	case ModeStride0, ModeStride1, ModeStride2, ModeStride3:
+		return fmt.Sprintf("Sx4_%d", int(m-ModeStride0))
+	default:
+		return fmt.Sprintf("IOMode(%d)", int(m))
+	}
+}
+
+// Command is one command on the C/A bus.
+type Command struct {
+	Kind CmdKind
+	Rank int
+	// Group and Bank are within the rank; Row within the bank; Col is the
+	// cacheline-sized column within the row.
+	Group, Bank int
+	Row         int
+	Col         int
+	// Mode applies to RD/WR (the I/O mode the access requires) and MRS
+	// (the mode being programmed).
+	Mode IOMode
+	// GangRanks marks a fine-granularity strided burst that drives both
+	// ranks together to fill the channel (Section 4.4, Fig. 9e).
+	GangRanks bool
+	// AutoPrecharge closes the row after the column access completes.
+	AutoPrecharge bool
+}
+
+// BankID flattens (rank, group, bank) into a per-channel bank index.
+func (c Command) BankID(g Geometry) int {
+	return (c.Rank*g.BankGroups+c.Group)*g.BanksPerGroup + c.Bank
+}
+
+// String renders the command for traces and error messages.
+func (c Command) String() string {
+	switch c.Kind {
+	case CmdACT:
+		return fmt.Sprintf("ACT r%d g%d b%d row%d", c.Rank, c.Group, c.Bank, c.Row)
+	case CmdPRE:
+		return fmt.Sprintf("PRE r%d g%d b%d", c.Rank, c.Group, c.Bank)
+	case CmdRD, CmdWR:
+		return fmt.Sprintf("%s r%d g%d b%d row%d col%d %s", c.Kind, c.Rank, c.Group, c.Bank, c.Row, c.Col, c.Mode)
+	case CmdREF:
+		return fmt.Sprintf("REF r%d", c.Rank)
+	case CmdMRS:
+		return fmt.Sprintf("MRS r%d %s", c.Rank, c.Mode)
+	default:
+		return c.Kind.String()
+	}
+}

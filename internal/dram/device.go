@@ -1,0 +1,473 @@
+package dram
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cycle is a point in time in bus clock cycles.
+type Cycle = int64
+
+// never is a sentinel meaning "this event has not happened"; constraints
+// derived from it land far in the past.
+const never Cycle = math.MinInt64 / 4
+
+// DeviceStats counts the command activity the power model consumes.
+type DeviceStats struct {
+	Acts, Pres, Refs     uint64
+	Reads, Writes        uint64
+	StrideReads          uint64
+	StrideWrites         uint64
+	GangedBursts         uint64
+	ModeSwitches         uint64
+	BusBusyCycles        uint64
+	ColumnWordsFetched   uint64 // internal array words moved to I/O buffers
+	ColumnWordsRequested uint64 // words actually sent on the channel
+}
+
+type bankState struct {
+	open      bool
+	row       int
+	actAt     Cycle // last ACT issue
+	preDoneAt Cycle // precharge completes (ACT legal from here)
+	lastRdAt  Cycle // last RD issue to this bank
+	wrDataEnd Cycle // last write burst's final data cycle
+}
+
+type groupState struct {
+	lastColAt Cycle // last RD/WR issue in this bank group (tCCD_L)
+	lastActAt Cycle // last ACT in this bank group (tRRD_L)
+}
+
+type rankState struct {
+	banks  []bankState
+	groups []groupState
+	// lastColAt/lastActAt cover any bank group in the rank (tCCD_S/tRRD_S).
+	lastColAt Cycle
+	lastActAt Cycle
+	// faw holds recent ACT times (order-robust: entries may be recorded
+	// out of time order when the controller prepares banks ahead).
+	faw       [8]Cycle
+	mode      IOMode
+	tfaw      Cycle
+	refDueAt  Cycle
+	refUntil  Cycle
+	wrDataEnd Cycle // last write data end in rank (tWTR)
+	rdDataEnd Cycle // last read data end in rank (tRTW bookkeeping)
+	lastWrAt  Cycle // last WR issue in rank (NVM write pulse spacing)
+}
+
+// fawConstraint returns the earliest time a new ACT satisfies the
+// four-activate window: at least tFAW after the fourth-most-recent ACT.
+// The scan is over a small fixed ring, tolerating out-of-time-order entries.
+func (rk *rankState) fawConstraint() Cycle {
+	var sorted [len(rk.faw)]Cycle
+	copy(sorted[:], rk.faw[:])
+	// Insertion sort descending (n = 8).
+	for i := 1; i < len(sorted); i++ {
+		v := sorted[i]
+		j := i - 1
+		for j >= 0 && sorted[j] < v {
+			sorted[j+1] = sorted[j]
+			j--
+		}
+		sorted[j+1] = v
+	}
+	return sorted[3] + rk.tfaw
+}
+
+// recordAct inserts an ACT time, evicting the oldest entry.
+func (rk *rankState) recordAct(at Cycle) {
+	minIdx := 0
+	for i, v := range rk.faw {
+		if v < rk.faw[minIdx] {
+			minIdx = i
+		}
+	}
+	if at > rk.faw[minIdx] {
+		rk.faw[minIdx] = at
+	}
+}
+
+// Device is one memory channel's worth of DRAM (or RRAM) state: per-bank
+// timing, per-rank mode registers and refresh, and the shared data bus.
+type Device struct {
+	cfg   Config
+	ranks []rankState
+	// Data bus occupancy.
+	busFreeAt    Cycle
+	busOwnerRank int
+	busOwnerMode IOMode
+	busOwnerGang bool
+	busEverUsed  bool
+	Stats        DeviceStats
+}
+
+// NewDevice builds a device for the configuration; it panics if the
+// configuration is invalid (construction is programmer-controlled).
+func NewDevice(cfg Config) *Device {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	d := &Device{cfg: cfg, busOwnerRank: -1}
+	d.ranks = make([]rankState, cfg.Geometry.Ranks)
+	for r := range d.ranks {
+		rs := &d.ranks[r]
+		rs.banks = make([]bankState, cfg.Geometry.Banks())
+		rs.groups = make([]groupState, cfg.Geometry.BankGroups)
+		for b := range rs.banks {
+			rs.banks[b] = bankState{actAt: never, preDoneAt: never, lastRdAt: never, wrDataEnd: never}
+		}
+		for g := range rs.groups {
+			rs.groups[g] = groupState{lastColAt: never, lastActAt: never}
+		}
+		rs.lastColAt, rs.lastActAt = never, never
+		for i := range rs.faw {
+			rs.faw[i] = never
+		}
+		rs.lastWrAt = never
+		rs.mode = ModeX4
+		rs.tfaw = Cycle(cfg.Timing.TFAW)
+		rs.refDueAt = Cycle(cfg.Timing.TREFI)
+		rs.refUntil = never
+		rs.wrDataEnd, rs.rdDataEnd = never, never
+	}
+	return d
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// RankMode returns rank r's current I/O mode.
+func (d *Device) RankMode(r int) IOMode { return d.ranks[r].mode }
+
+// BankOpenRow returns (row, true) if the addressed bank has an open row.
+func (d *Device) BankOpenRow(rank, group, bank int) (int, bool) {
+	b := &d.ranks[rank].banks[group*d.cfg.Geometry.BanksPerGroup+bank]
+	return b.row, b.open
+}
+
+// RefreshDue reports the next refresh deadline for a rank.
+func (d *Device) RefreshDue(rank int) Cycle { return d.ranks[rank].refDueAt }
+
+func (d *Device) bank(c Command) *bankState {
+	return &d.ranks[c.Rank].banks[c.Group*d.cfg.Geometry.BanksPerGroup+c.Bank]
+}
+
+func max2(a, b Cycle) Cycle {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxN(vals ...Cycle) Cycle {
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// EarliestIssue returns the earliest cycle >= now at which cmd is legal.
+func (d *Device) EarliestIssue(cmd Command, now Cycle) Cycle {
+	t := d.cfg.Timing
+	rk := &d.ranks[cmd.Rank]
+	switch cmd.Kind {
+	case CmdACT:
+		bk := d.bank(cmd)
+		gs := &rk.groups[cmd.Group]
+		earliest := maxN(
+			now,
+			bk.preDoneAt,
+			gs.lastActAt+Cycle(t.TRRDL),
+			rk.lastActAt+Cycle(t.TRRDS),
+			rk.fawConstraint(),
+			rk.refUntil,
+		)
+		if cmd.GangRanks {
+			earliest = d.gangConstrain(cmd, earliest, CmdACT)
+		}
+		return earliest
+	case CmdPRE:
+		bk := d.bank(cmd)
+		return maxN(
+			now,
+			bk.actAt+Cycle(t.TRAS),
+			bk.lastRdAt+Cycle(t.TRTP),
+			bk.wrDataEnd+Cycle(t.TWR),
+			rk.refUntil,
+		)
+	case CmdRD, CmdWR:
+		return d.earliestColumn(cmd, now)
+	case CmdREF:
+		// All banks in the rank must be precharge-able and closed. The
+		// implicit precharge happens tRP before the REF lands, so its
+		// earliest time depends only on bank history, not on `now`.
+		earliest := max2(now, rk.refUntil)
+		for g := range rk.groups {
+			for b := 0; b < d.cfg.Geometry.BanksPerGroup; b++ {
+				bk := &rk.banks[g*d.cfg.Geometry.BanksPerGroup+b]
+				if bk.open {
+					preAt := maxN(bk.actAt+Cycle(t.TRAS), bk.lastRdAt+Cycle(t.TRTP), bk.wrDataEnd+Cycle(t.TWR))
+					earliest = max2(earliest, preAt+Cycle(t.TRP))
+				} else {
+					earliest = max2(earliest, bk.preDoneAt)
+				}
+			}
+		}
+		return earliest
+	case CmdMRS:
+		return max2(now, rk.refUntil)
+	default:
+		panic(fmt.Sprintf("dram: EarliestIssue of unknown command %v", cmd.Kind))
+	}
+}
+
+// earliestColumn computes the issue constraint for RD/WR including CCD,
+// turnaround, data-bus occupancy, and mode/rank switch penalties.
+func (d *Device) earliestColumn(cmd Command, now Cycle) Cycle {
+	t := d.cfg.Timing
+	rk := &d.ranks[cmd.Rank]
+	bk := d.bank(cmd)
+	gs := &rk.groups[cmd.Group]
+
+	lat := Cycle(t.CL)
+	if cmd.Kind == CmdWR {
+		lat = Cycle(t.CWL)
+	}
+	earliest := maxN(
+		now,
+		bk.actAt+Cycle(t.TRCD),
+		gs.lastColAt+Cycle(t.TCCDL),
+		rk.lastColAt+Cycle(t.TCCDS),
+		rk.refUntil,
+	)
+	if cmd.Kind == CmdRD {
+		// Write-to-read turnaround in the same rank.
+		earliest = max2(earliest, rk.wrDataEnd+Cycle(t.TWTR))
+	} else if t.TWRBurst > 0 {
+		// NVM write pulses occupy the array between write bursts.
+		earliest = max2(earliest, rk.lastWrAt+Cycle(t.TWRBurst))
+	}
+	// Data bus: the burst must start after the bus frees, plus a switch gap
+	// when ownership (rank or I/O mode) changes, plus read/write turnaround.
+	busReady := d.busFreeAt
+	if d.busEverUsed {
+		// Rank-to-rank switch: ownership changes when the driving rank set
+		// changes. Back-to-back ganged bursts share ownership.
+		if d.busOwnerGang != cmd.GangRanks || (!cmd.GangRanks && d.busOwnerRank != cmd.Rank) {
+			busReady += Cycle(t.TRTR)
+		}
+		if d.modeSwitchNeeded(cmd) {
+			busReady += Cycle(t.TRTR)
+		}
+		if cmd.Kind == CmdWR && d.lastBusWasRead() {
+			busReady += Cycle(t.TRTW)
+		}
+	}
+	if dataStart := earliest + lat; dataStart < busReady {
+		earliest = busReady - lat
+	}
+	if cmd.GangRanks {
+		earliest = d.gangConstrain(cmd, earliest, cmd.Kind)
+	}
+	return earliest
+}
+
+// modeSwitchNeeded reports whether issuing cmd requires reprogramming the
+// target rank's I/O mode register.
+func (d *Device) modeSwitchNeeded(cmd Command) bool {
+	if d.ranks[cmd.Rank].mode != cmd.Mode {
+		return true
+	}
+	if cmd.GangRanks {
+		for r := range d.ranks {
+			if d.ranks[r].mode != cmd.Mode {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (d *Device) lastBusWasRead() bool {
+	var lastRd, lastWr Cycle = never, never
+	for r := range d.ranks {
+		lastRd = max2(lastRd, d.ranks[r].rdDataEnd)
+		lastWr = max2(lastWr, d.ranks[r].wrDataEnd)
+	}
+	return lastRd > lastWr
+}
+
+// gangConstrain folds in the mirror rank's refresh/ccd constraints for
+// dual-rank ganged bursts (fine-granularity stride, Section 4.4). The
+// mirror rank holds the same row open by construction (mirrored
+// allocation), so only rank-global constraints apply.
+func (d *Device) gangConstrain(cmd Command, earliest Cycle, kind CmdKind) Cycle {
+	t := d.cfg.Timing
+	for r := range d.ranks {
+		if r == cmd.Rank {
+			continue
+		}
+		o := &d.ranks[r]
+		earliest = max2(earliest, o.refUntil)
+		if kind == CmdRD || kind == CmdWR {
+			earliest = max2(earliest, o.lastColAt+Cycle(t.TCCDS))
+			if kind == CmdRD {
+				earliest = max2(earliest, o.wrDataEnd+Cycle(t.TWTR))
+			}
+		}
+	}
+	return earliest
+}
+
+// IssueResult reports the consequences of a command.
+type IssueResult struct {
+	// DataStart/DataEnd bound the data burst on the bus (RD/WR only);
+	// DataEnd is exclusive.
+	DataStart, DataEnd Cycle
+	// Done is when the command's effects complete (e.g. REF busy end).
+	Done Cycle
+	// ModeSwitched reports that the rank's I/O mode register changed.
+	ModeSwitched bool
+}
+
+// Issue applies cmd at cycle at. It panics when the command is illegal
+// (issued before EarliestIssue, or structurally invalid) — the controller
+// is required to consult EarliestIssue first, and a violation is a
+// simulator bug, not a runtime condition.
+func (d *Device) Issue(cmd Command, at Cycle) IssueResult {
+	if e := d.EarliestIssue(cmd, at); e > at {
+		panic(fmt.Sprintf("dram: %v issued at %d, legal at %d", cmd, at, e))
+	}
+	t := d.cfg.Timing
+	rk := &d.ranks[cmd.Rank]
+	switch cmd.Kind {
+	case CmdACT:
+		bk := d.bank(cmd)
+		if bk.open {
+			panic(fmt.Sprintf("dram: ACT to open bank: %v", cmd))
+		}
+		bk.open = true
+		bk.row = cmd.Row
+		bk.actAt = at
+		bk.lastRdAt, bk.wrDataEnd = never, never
+		gs := &rk.groups[cmd.Group]
+		gs.lastActAt = max2(gs.lastActAt, at)
+		rk.lastActAt = max2(rk.lastActAt, at)
+		rk.recordAct(at)
+		d.Stats.Acts++
+		if cmd.GangRanks {
+			d.Stats.Acts++ // mirror rank activates too
+		}
+		return IssueResult{Done: at + Cycle(t.TRCD)}
+	case CmdPRE:
+		bk := d.bank(cmd)
+		if !bk.open {
+			panic(fmt.Sprintf("dram: PRE to closed bank: %v", cmd))
+		}
+		bk.open = false
+		bk.preDoneAt = at + Cycle(t.TRP)
+		d.Stats.Pres++
+		return IssueResult{Done: bk.preDoneAt}
+	case CmdRD, CmdWR:
+		return d.issueColumn(cmd, at)
+	case CmdREF:
+		for b := range rk.banks {
+			rk.banks[b].open = false
+			rk.banks[b].preDoneAt = at
+		}
+		rk.refUntil = at + Cycle(t.TRFC)
+		rk.refDueAt += Cycle(t.TREFI)
+		d.Stats.Refs++
+		return IssueResult{Done: rk.refUntil}
+	case CmdMRS:
+		switched := rk.mode != cmd.Mode
+		rk.mode = cmd.Mode
+		if switched {
+			d.Stats.ModeSwitches++
+		}
+		return IssueResult{Done: at + Cycle(t.TRTR), ModeSwitched: switched}
+	default:
+		panic(fmt.Sprintf("dram: Issue of unknown command %v", cmd.Kind))
+	}
+}
+
+func (d *Device) issueColumn(cmd Command, at Cycle) IssueResult {
+	t := d.cfg.Timing
+	rk := &d.ranks[cmd.Rank]
+	bk := d.bank(cmd)
+	if !bk.open || bk.row != cmd.Row {
+		panic(fmt.Sprintf("dram: column access to wrong/closed row: %v (open=%v row=%d)", cmd, bk.open, bk.row))
+	}
+	lat := Cycle(t.CL)
+	if cmd.Kind == CmdWR {
+		lat = Cycle(t.CWL)
+	}
+	res := IssueResult{DataStart: at + lat}
+	res.DataEnd = res.DataStart + Cycle(t.TBL)
+	res.Done = res.DataEnd
+
+	if d.modeSwitchNeeded(cmd) {
+		res.ModeSwitched = true
+		rk.mode = cmd.Mode
+		d.Stats.ModeSwitches++
+		if cmd.GangRanks {
+			for r := range d.ranks {
+				d.ranks[r].mode = cmd.Mode
+			}
+		}
+	}
+	gs := &rk.groups[cmd.Group]
+	gs.lastColAt = max2(gs.lastColAt, at)
+	rk.lastColAt = max2(rk.lastColAt, at)
+	if cmd.Kind == CmdRD {
+		bk.lastRdAt = max2(bk.lastRdAt, at)
+		rk.rdDataEnd = max2(rk.rdDataEnd, res.DataEnd)
+		if cmd.Mode.IsStride() {
+			d.Stats.StrideReads++
+			// Stride fetch moves four column words into the I/O buffers
+			// (all four, regardless of how many the channel sends).
+			d.Stats.ColumnWordsFetched += 4
+			d.Stats.ColumnWordsRequested++
+		} else {
+			d.Stats.Reads++
+			d.Stats.ColumnWordsFetched++
+			d.Stats.ColumnWordsRequested++
+		}
+	} else {
+		bk.wrDataEnd = max2(bk.wrDataEnd, res.DataEnd)
+		rk.wrDataEnd = max2(rk.wrDataEnd, res.DataEnd)
+		rk.lastWrAt = max2(rk.lastWrAt, at)
+		if cmd.Mode.IsStride() {
+			d.Stats.StrideWrites++
+			d.Stats.ColumnWordsFetched += 4
+			d.Stats.ColumnWordsRequested++
+		} else {
+			d.Stats.Writes++
+			d.Stats.ColumnWordsFetched++
+			d.Stats.ColumnWordsRequested++
+		}
+	}
+	if cmd.GangRanks {
+		d.Stats.GangedBursts++
+	}
+	if cmd.AutoPrecharge {
+		bk.open = false
+		closeAt := maxN(at+Cycle(t.TRTP), bk.actAt+Cycle(t.TRAS), res.DataEnd+Cycle(t.TWR))
+		bk.preDoneAt = closeAt + Cycle(t.TRP)
+		d.Stats.Pres++
+	}
+	d.Stats.BusBusyCycles += uint64(t.TBL)
+	if res.DataEnd > d.busFreeAt {
+		d.busFreeAt = res.DataEnd
+		d.busOwnerRank = cmd.Rank
+		d.busOwnerMode = cmd.Mode
+		d.busOwnerGang = cmd.GangRanks
+	}
+	d.busEverUsed = true
+	return res
+}

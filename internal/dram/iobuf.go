@@ -1,0 +1,177 @@
+package dram
+
+import "fmt"
+
+// This file is the functional model of the common-die I/O path of one x4
+// chip (Fig. 7): four 32-bit I/O buffers, each divided into four 8-bit
+// lanes, feeding sixteen drivers through serializers. Regular x4 operation
+// uses one buffer and four drivers; SAM's stride modes fill all four
+// buffers and serialize one lane of each; SAM-en adds a second serializer
+// direction (the "two-dimensional I/O buffer", Fig. 8) and the interleaved
+// MUX for 4-bit granularity (Fig. 9).
+
+// I/O buffer geometry.
+const (
+	NumIOBuffers  = 4 // common die integrates the full x16 buffer set
+	LanesPerBuf   = 4 // each 32-bit buffer has four 8-bit lanes
+	LaneBits      = 8
+	BufBytes      = 4  // 32 bits
+	ChipBurstBits = 32 // 4 DQ x 8 beats in x4 mode
+)
+
+// IOBuffer models the chip's four I/O buffers. Buf[b][l] is lane l of
+// buffer b; in x4 operation only buffer 0 is used.
+type IOBuffer struct {
+	Buf [NumIOBuffers][LanesPerBuf]byte
+}
+
+// LoadRegular loads one 32-bit column word (the chip's share of one
+// cacheline burst) into buffer 0, the x4 path.
+func (io *IOBuffer) LoadRegular(word [BufBytes]byte) {
+	io.Buf[0] = word
+}
+
+// LoadWide loads four column words — the chip's share of four consecutive
+// cachelines — into all four buffers, the x16-class internal fetch stride
+// modes perform.
+func (io *IOBuffer) LoadWide(words [NumIOBuffers][BufBytes]byte) {
+	io.Buf = words
+}
+
+// SerializeRegular returns the 32 bits the four DQs emit over eight beats
+// in x4 mode: buffer 0, all lanes.
+func (io *IOBuffer) SerializeRegular() [BufBytes]byte {
+	return io.Buf[0]
+}
+
+// SerializeStride returns the 32 bits emitted in Sx4_lane mode: lane
+// `lane` of each of the four buffers, driven by drivers
+// [lane, lane+4, lane+8, lane+12] (the table in Fig. 7).
+func (io *IOBuffer) SerializeStride(lane int) [BufBytes]byte {
+	if lane < 0 || lane >= LanesPerBuf {
+		panic(fmt.Sprintf("dram: stride lane %d out of range", lane))
+	}
+	var out [BufBytes]byte
+	for b := 0; b < NumIOBuffers; b++ {
+		out[b] = io.Buf[b][lane]
+	}
+	return out
+}
+
+// SerializeYZ reads the two-dimensional buffer along the yz-plane
+// (SAM-en option 2, Fig. 8d): conceptually the four buffers form a 4x4x(2b)
+// cube, and the second serializer set reads the transposed view, returning
+// "buffer" yz of the symmetric layout. SerializeYZ(i) of the original
+// equals SerializeRegular() of the transposed buffer i.
+func (io *IOBuffer) SerializeYZ(yzBuffer int) [BufBytes]byte {
+	if yzBuffer < 0 || yzBuffer >= NumIOBuffers {
+		panic(fmt.Sprintf("dram: yz buffer %d out of range", yzBuffer))
+	}
+	var out [BufBytes]byte
+	for l := 0; l < LanesPerBuf; l++ {
+		out[l] = io.Buf[l][yzBuffer]
+	}
+	return out
+}
+
+// Transpose returns the yz-plane view of the buffer cube: buffer and lane
+// indices exchanged. Transposing twice is the identity — the symmetry that
+// makes the two serializer directions equivalent in latency (Section 4.3).
+func (io IOBuffer) Transpose() IOBuffer {
+	var t IOBuffer
+	for b := 0; b < NumIOBuffers; b++ {
+		for l := 0; l < LanesPerBuf; l++ {
+			t.Buf[l][b] = io.Buf[b][l]
+		}
+	}
+	return t
+}
+
+// SerializeStrideFine returns the 16 bits two DQs emit for 4-bit strided
+// granularity (Section 4.4): the interleaved MUX pairs lanes (2k, 2k+1) and
+// picks the high or low nibble of each, so four 4-bit symbols — one per
+// buffer-pair position — travel on two DQs in one burst.
+//
+// pair selects which lane pair (0 or 1), hi selects the nibble. The two
+// returned bytes are the two DQs' eight beats each.
+func (io *IOBuffer) SerializeStrideFine(pair int, hi bool) [2]byte {
+	if pair < 0 || pair*2+1 >= LanesPerBuf {
+		panic(fmt.Sprintf("dram: lane pair %d out of range", pair))
+	}
+	nib := func(b byte) byte {
+		if hi {
+			return b >> 4
+		}
+		return b & 0xF
+	}
+	var out [2]byte
+	// DQ 0 carries buffers 0,1; DQ 1 carries buffers 2,3 — two 4-bit
+	// symbols per DQ, interleaved between the paired lanes.
+	out[0] = nib(io.Buf[0][pair*2]) | nib(io.Buf[1][pair*2+1])<<4
+	out[1] = nib(io.Buf[2][pair*2]) | nib(io.Buf[3][pair*2+1])<<4
+	return out
+}
+
+// FuseMask models the post-manufacturing electric fuses of the common die
+// (Section 2.2): which buffers and drivers a configuration enables.
+type FuseMask struct {
+	Buffers [NumIOBuffers]bool
+	Drivers [16]bool
+}
+
+// FuseFor returns the fuse configuration for an I/O mode, per the Fig. 7
+// table.
+func FuseFor(mode IOMode) FuseMask {
+	var f FuseMask
+	enableDrv := func(ids ...int) {
+		for _, id := range ids {
+			f.Drivers[id] = true
+		}
+	}
+	switch mode {
+	case ModeX4:
+		f.Buffers[0] = true
+		enableDrv(0, 1, 2, 3)
+	case ModeX8:
+		f.Buffers[0], f.Buffers[1] = true, true
+		enableDrv(0, 1, 2, 3, 4, 5, 6, 7)
+	case ModeX16:
+		for i := range f.Buffers {
+			f.Buffers[i] = true
+		}
+		for i := range f.Drivers {
+			f.Drivers[i] = true
+		}
+	case ModeStride0, ModeStride1, ModeStride2, ModeStride3:
+		lane := int(mode - ModeStride0)
+		for i := range f.Buffers {
+			f.Buffers[i] = true
+		}
+		enableDrv(lane, lane+4, lane+8, lane+12)
+	default:
+		panic(fmt.Sprintf("dram: no fuse config for mode %v", mode))
+	}
+	return f
+}
+
+// EnabledDrivers counts drivers a fuse mask enables.
+func (f FuseMask) EnabledDrivers() int {
+	n := 0
+	for _, on := range f.Drivers {
+		if on {
+			n++
+		}
+	}
+	return n
+}
+
+// EnabledBuffers counts buffers a fuse mask enables.
+func (f FuseMask) EnabledBuffers() int {
+	n := 0
+	for _, on := range f.Buffers {
+		if on {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,90 @@
+package dram
+
+// SparseMem is the functional backing store of the simulated physical
+// address space: a page-granular sparse byte array. The timing model and
+// the functional model are deliberately separate — queries that only need
+// timing never touch SparseMem, while correctness tests and the examples
+// read and write real bytes.
+type SparseMem struct {
+	pageBits uint
+	pages    map[uint64][]byte
+}
+
+// NewSparseMem builds a store with 4 KiB pages.
+func NewSparseMem() *SparseMem {
+	return &SparseMem{pageBits: 12, pages: make(map[uint64][]byte)}
+}
+
+func (m *SparseMem) page(addr uint64, create bool) ([]byte, uint64) {
+	pn := addr >> m.pageBits
+	p, ok := m.pages[pn]
+	if !ok && create {
+		p = make([]byte, 1<<m.pageBits)
+		m.pages[pn] = p
+	}
+	return p, addr & (1<<m.pageBits - 1)
+}
+
+// Read copies n bytes at addr into a fresh slice; unbacked bytes read as 0.
+func (m *SparseMem) Read(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	m.ReadInto(addr, out)
+	return out
+}
+
+// ReadInto fills dst from addr; unbacked bytes read as 0.
+func (m *SparseMem) ReadInto(addr uint64, dst []byte) {
+	for len(dst) > 0 {
+		p, off := m.page(addr, false)
+		span := int(uint64(1)<<m.pageBits - off)
+		if span > len(dst) {
+			span = len(dst)
+		}
+		if p == nil {
+			for i := 0; i < span; i++ {
+				dst[i] = 0
+			}
+		} else {
+			copy(dst[:span], p[off:])
+		}
+		dst = dst[span:]
+		addr += uint64(span)
+	}
+}
+
+// Write stores src at addr, allocating pages as needed.
+func (m *SparseMem) Write(addr uint64, src []byte) {
+	for len(src) > 0 {
+		p, off := m.page(addr, true)
+		span := int(uint64(1)<<m.pageBits - off)
+		if span > len(src) {
+			span = len(src)
+		}
+		copy(p[off:], src[:span])
+		src = src[span:]
+		addr += uint64(span)
+	}
+}
+
+// ReadU64 reads a little-endian uint64 at addr.
+func (m *SparseMem) ReadU64(addr uint64) uint64 {
+	var buf [8]byte
+	m.ReadInto(addr, buf[:])
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(buf[i])
+	}
+	return v
+}
+
+// WriteU64 writes a little-endian uint64 at addr.
+func (m *SparseMem) WriteU64(addr uint64, v uint64) {
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	m.Write(addr, buf[:])
+}
+
+// PagesAllocated returns how many 4 KiB pages are backed.
+func (m *SparseMem) PagesAllocated() int { return len(m.pages) }

@@ -1,0 +1,74 @@
+package dram
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSparseMemZeroFill(t *testing.T) {
+	m := NewSparseMem()
+	got := m.Read(0x123456, 16)
+	if !bytes.Equal(got, make([]byte, 16)) {
+		t.Fatal("unbacked memory should read zero")
+	}
+	if m.PagesAllocated() != 0 {
+		t.Fatal("read allocated pages")
+	}
+}
+
+func TestSparseMemRoundTrip(t *testing.T) {
+	m := NewSparseMem()
+	data := []byte("strided accesses ahoy")
+	m.Write(0x7FF0, data) // crosses a page boundary
+	if got := m.Read(0x7FF0, len(data)); !bytes.Equal(got, data) {
+		t.Fatalf("round trip: %q", got)
+	}
+	if m.PagesAllocated() != 2 {
+		t.Fatalf("pages = %d, want 2 (boundary cross)", m.PagesAllocated())
+	}
+}
+
+func TestSparseMemU64(t *testing.T) {
+	m := NewSparseMem()
+	m.WriteU64(0x1000, 0x0807060504030201)
+	if got := m.ReadU64(0x1000); got != 0x0807060504030201 {
+		t.Fatalf("u64 round trip: %x", got)
+	}
+	// Little-endian layout.
+	if b := m.Read(0x1000, 1)[0]; b != 0x01 {
+		t.Fatalf("first byte %x, want little-endian 01", b)
+	}
+}
+
+func TestSparseMemPropertyRoundTrip(t *testing.T) {
+	m := NewSparseMem()
+	f := func(addr uint32, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		m.Write(uint64(addr), data)
+		return bytes.Equal(m.Read(uint64(addr), len(data)), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparseMemOverlappingWrites(t *testing.T) {
+	m := NewSparseMem()
+	ref := make([]byte, 1<<16)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		addr := rng.Intn(len(ref) - 64)
+		n := 1 + rng.Intn(64)
+		chunk := make([]byte, n)
+		rng.Read(chunk)
+		copy(ref[addr:], chunk)
+		m.Write(uint64(addr), chunk)
+	}
+	if got := m.Read(0, len(ref)); !bytes.Equal(got, ref) {
+		t.Fatal("sparse memory diverged from flat reference")
+	}
+}

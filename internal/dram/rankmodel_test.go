@@ -1,0 +1,188 @@
+package dram
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sam/internal/ecc"
+)
+
+func filledRank(t *testing.T, rng *rand.Rand, scheme ecc.Scheme, rows, cols int) (*RankModel, [][]([]byte)) {
+	t.Helper()
+	codec := ecc.NewChipkill(scheme)
+	r := NewRankModel(cols*codec.DataBytes(), scheme)
+	stored := make([][]([]byte), rows)
+	for row := 0; row < rows; row++ {
+		stored[row] = make([][]byte, cols)
+		for col := 0; col < cols; col++ {
+			data := make([]byte, codec.DataBytes())
+			rng.Read(data)
+			r.WriteColumn(row, col, data)
+			stored[row][col] = data
+		}
+	}
+	return r, stored
+}
+
+func TestRankRegularReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	r, stored := filledRank(t, rng, ecc.SchemeSSC, 4, 8)
+	for row := range stored {
+		for col := range stored[row] {
+			got, corrected, err := r.ReadColumn(row, col)
+			if err != nil {
+				t.Fatalf("(%d,%d): %v", row, col, err)
+			}
+			if corrected != 0 {
+				t.Fatalf("(%d,%d): spurious correction", row, col)
+			}
+			if !bytes.Equal(got, stored[row][col]) {
+				t.Fatalf("(%d,%d): data mismatch", row, col)
+			}
+		}
+	}
+}
+
+func TestRankStrideReadMatchesIndependentGather(t *testing.T) {
+	// Invariant 2 end to end: the Sx4_n datapath output equals a gather
+	// computed without the I/O buffer model.
+	rng := rand.New(rand.NewSource(103))
+	r, _ := filledRank(t, rng, ecc.SchemeSSC, 2, 16)
+	for row := 0; row < 2; row++ {
+		for base := 0; base < 16; base += NumIOBuffers {
+			for lane := 0; lane < LanesPerBuf; lane++ {
+				got := r.ReadStride(row, base, lane)
+				want := r.GatherExpected(row, base, lane)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("row %d base %d lane %d: stride datapath diverges", row, base, lane)
+				}
+			}
+		}
+	}
+}
+
+func TestRankStrideGathersStoredBytes(t *testing.T) {
+	// The strided payload must consist of the same-offset bytes of the
+	// four gathered columns' stored payloads (for data chips; check chips
+	// carry check symbols).
+	rng := rand.New(rand.NewSource(107))
+	codec := ecc.NewChipkill(ecc.SchemeSSC)
+	r, stored := filledRank(t, rng, ecc.SchemeSSC, 1, 4)
+	lane := 2
+	got := r.ReadStride(0, 0, lane)
+	// Chip c's stored byte at lane `lane` of column w is byte (lane) of
+	// its 4-byte word; relate it back through the SSC layout: chip c holds
+	// data[16*j + c] as byte j (codeword j of the burst).
+	for c := 0; c < ecc.SSCDataChips; c++ {
+		for w := 0; w < NumIOBuffers; w++ {
+			want := stored[0][w][16*lane+c]
+			if got[c*ecc.BytesPerChip+w] != want {
+				t.Fatalf("chip %d col %d: %02x, want %02x", c, w, got[c*ecc.BytesPerChip+w], want)
+			}
+		}
+	}
+	_ = codec
+}
+
+func TestRankDeadChipCorrectedOnRegularRead(t *testing.T) {
+	// Invariant 3: a dead chip is corrected on every column of the row.
+	rng := rand.New(rand.NewSource(109))
+	for _, scheme := range []ecc.Scheme{ecc.SchemeSSC, ecc.SchemeSSCDSD} {
+		r, stored := filledRank(t, rng, scheme, 2, 4)
+		dead := rng.Intn(r.Chips())
+		r.CorruptChipRow(1, dead, 0x5A)
+		for col := 0; col < 4; col++ {
+			got, corrected, err := r.ReadColumnCorrected(1, col)
+			if err != nil {
+				t.Fatalf("%v col %d: %v", scheme, col, err)
+			}
+			if !corrected {
+				t.Fatalf("%v col %d: corruption missed", scheme, col)
+			}
+			if !bytes.Equal(got, stored[1][col]) {
+				t.Fatalf("%v col %d: wrong correction", scheme, col)
+			}
+		}
+		// The untouched row still reads clean.
+		if _, corrected, err := r.ReadColumn(0, 0); err != nil || corrected != 0 {
+			t.Fatalf("%v: clean row disturbed (corrected=%v err=%v)", scheme, corrected, err)
+		}
+	}
+}
+
+func TestRankStrideLanePartition(t *testing.T) {
+	// The four lanes of a stride group partition the four columns' bytes:
+	// reading all four lanes reconstructs all four column words exactly.
+	rng := rand.New(rand.NewSource(113))
+	r, _ := filledRank(t, rng, ecc.SchemeSSC, 1, 4)
+	rebuilt := make([][]byte, NumIOBuffers)
+	for w := range rebuilt {
+		rebuilt[w] = make([]byte, r.Chips()*ecc.BytesPerChip)
+	}
+	for lane := 0; lane < LanesPerBuf; lane++ {
+		got := r.ReadStride(0, 0, lane)
+		for c := 0; c < r.Chips(); c++ {
+			for w := 0; w < NumIOBuffers; w++ {
+				rebuilt[w][c*ecc.BytesPerChip+lane] = got[c*ecc.BytesPerChip+w]
+			}
+		}
+	}
+	for w := 0; w < NumIOBuffers; w++ {
+		raw := r.readBurst(0, w)
+		for c := 0; c < r.Chips(); c++ {
+			if !bytes.Equal(rebuilt[w][c*ecc.BytesPerChip:(c+1)*ecc.BytesPerChip], raw.Chips[c][:]) {
+				t.Fatalf("lane union does not rebuild column %d chip %d", w, c)
+			}
+		}
+	}
+}
+
+func TestRankPropertyWriteReadAnyScheme(t *testing.T) {
+	for _, scheme := range []ecc.Scheme{ecc.SchemeSSC, ecc.SchemeSSCVariant, ecc.SchemeSSCDSD} {
+		codec := ecc.NewChipkill(scheme)
+		r := NewRankModel(8*codec.DataBytes(), scheme)
+		f := func(seed int64, row uint8, col uint8) bool {
+			rng := rand.New(rand.NewSource(seed))
+			data := make([]byte, codec.DataBytes())
+			rng.Read(data)
+			ri, ci := int(row)%4, int(col)%8
+			r.WriteColumn(ri, ci, data)
+			got, _, err := r.ReadColumn(ri, ci)
+			return err == nil && bytes.Equal(got, data)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%v: %v", scheme, err)
+		}
+	}
+}
+
+func TestRankGeometryValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("misaligned row size accepted")
+		}
+	}()
+	NewRankModel(100, ecc.SchemeSSC)
+}
+
+func TestRankColumnBounds(t *testing.T) {
+	r := NewRankModel(512, ecc.SchemeSSC)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-row column accepted")
+		}
+	}()
+	r.WriteColumn(0, 99, make([]byte, 64))
+}
+
+func TestRankStrideBaseAlignment(t *testing.T) {
+	r := NewRankModel(512, ecc.SchemeSSC)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned stride base accepted")
+		}
+	}()
+	r.ReadStride(0, 1, 0)
+}

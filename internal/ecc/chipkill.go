@@ -1,0 +1,301 @@
+package ecc
+
+import "fmt"
+
+// This file models how chipkill codewords are laid out across the chips and
+// beats of a memory burst (Fig. 4), which is the crux of the paper's
+// reliability argument: a design is chipkill-compatible exactly when every
+// burst it produces carries whole codewords.
+//
+// A burst is what one BL8 transfer delivers: for a rank of x4 chips, each
+// chip contributes 4 bits x 8 beats = 32 bits. We model it as a per-chip
+// 4-byte word with bit (beat*4 + dq) of the word carrying DQ dq at beat.
+
+// Burst geometry for the SSC rank (16 data + 2 check chips).
+const (
+	SSCChips     = 18
+	SSCDataChips = 16
+	// SSCDSDChips is the doubled-channel geometry (32 data + 4 check).
+	SSCDSDChips     = 36
+	SSCDSDDataChips = 32
+	BytesPerChip    = 4 // 4 DQ x 8 beats = 32 bits
+)
+
+// Burst holds the raw bits one BL8 transfer moves, per chip.
+type Burst struct {
+	Chips [][BytesPerChip]byte
+}
+
+// NewBurst allocates an all-zero burst for the given chip count.
+func NewBurst(chips int) *Burst {
+	return &Burst{Chips: make([][BytesPerChip]byte, chips)}
+}
+
+// Bit returns DQ dq of chip at the given beat.
+func (b *Burst) Bit(chip, beat, dq int) byte {
+	idx := beat*4 + dq
+	return (b.Chips[chip][idx/8] >> (idx % 8)) & 1
+}
+
+// SetBit sets DQ dq of chip at the given beat.
+func (b *Burst) SetBit(chip, beat, dq int, v byte) {
+	idx := beat*4 + dq
+	if v&1 != 0 {
+		b.Chips[chip][idx/8] |= 1 << (idx % 8)
+	} else {
+		b.Chips[chip][idx/8] &^= 1 << (idx % 8)
+	}
+}
+
+// CorruptChip overwrites every bit a chip contributes, simulating a dead
+// chip for the burst (the chipkill failure model).
+func (b *Burst) CorruptChip(chip int, garbage byte) {
+	for i := range b.Chips[chip] {
+		b.Chips[chip][i] ^= garbage
+		garbage = garbage<<1 | garbage>>7 // vary per byte, never identity for nonzero
+	}
+}
+
+// Scheme identifies a codeword layout from Fig. 4.
+type Scheme int
+
+// Layout schemes.
+const (
+	// SchemeSSC (Fig. 4b): one 8-bit symbol per chip per two beats; a burst
+	// carries four 18-symbol codewords; the default server layout with
+	// critical-word-first.
+	SchemeSSC Scheme = iota
+	// SchemeSSCVariant (Fig. 4c): one 8-bit symbol per DQ across the whole
+	// burst (lane-wise); the layout SAM-IO's transposed data uses.
+	SchemeSSCVariant
+	// SchemeSSCDSD: doubled channel of 36 x4 chips; 4-bit beat symbols,
+	// paired across two beats into GF(2^8) RS symbols; corrects one chip,
+	// detects two.
+	SchemeSSCDSD
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeSSC:
+		return "SSC"
+	case SchemeSSCVariant:
+		return "SSC-variant"
+	case SchemeSSCDSD:
+		return "SSC-DSD"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Chipkill encodes/decodes bursts under one of the Fig. 4 layouts.
+type Chipkill struct {
+	Scheme Scheme
+	rs     *RS
+}
+
+// NewChipkill builds a codec for the scheme.
+func NewChipkill(s Scheme) *Chipkill {
+	c := &Chipkill{Scheme: s}
+	switch s {
+	case SchemeSSC, SchemeSSCVariant:
+		c.rs = NewRS(SSCChips, SSCDataChips, 1)
+	case SchemeSSCDSD:
+		c.rs = NewRS(SSCDSDChips, SSCDSDDataChips, 1)
+	default:
+		panic("ecc: unknown chipkill scheme")
+	}
+	return c
+}
+
+// DataBytes returns the data payload a single burst carries under the
+// scheme (64 for single-width SSC layouts, 128 for the doubled channel).
+func (c *Chipkill) DataBytes() int {
+	if c.Scheme == SchemeSSCDSD {
+		return 128
+	}
+	return 64
+}
+
+// Chips returns the rank width in chips.
+func (c *Chipkill) Chips() int {
+	if c.Scheme == SchemeSSCDSD {
+		return SSCDSDChips
+	}
+	return SSCChips
+}
+
+// CodewordsPerBurst returns how many codewords one burst carries (4 for
+// every scheme here).
+func (c *Chipkill) CodewordsPerBurst() int { return 4 }
+
+// Encode lays out data (len == DataBytes()) plus freshly computed check
+// symbols into a burst.
+func (c *Chipkill) Encode(data []byte) *Burst {
+	if len(data) != c.DataBytes() {
+		panic(fmt.Sprintf("ecc: Encode wants %d bytes, got %d", c.DataBytes(), len(data)))
+	}
+	b := NewBurst(c.Chips())
+	for j := 0; j < c.CodewordsPerBurst(); j++ {
+		cw := c.rs.Encode(c.dataSymbols(data, j))
+		c.placeCodeword(b, j, cw)
+	}
+	return b
+}
+
+// Decode extracts and corrects the burst's codewords, returning the data
+// payload, the total number of corrected symbols, and ErrDetected when any
+// codeword is uncorrectable under the scheme's policy.
+func (c *Chipkill) Decode(b *Burst) (data []byte, corrected int, err error) {
+	data = make([]byte, c.DataBytes())
+	for j := 0; j < c.CodewordsPerBurst(); j++ {
+		cw := c.extractCodeword(b, j)
+		n, derr := c.rs.Decode(cw)
+		if derr != nil {
+			return nil, corrected, derr
+		}
+		corrected += n
+		c.scatterData(data, j, cw)
+	}
+	return data, corrected, nil
+}
+
+// dataSymbols picks codeword j's data symbols out of the payload.
+func (c *Chipkill) dataSymbols(data []byte, j int) []byte {
+	k := c.rs.K()
+	syms := make([]byte, k)
+	copy(syms, data[j*k:(j+1)*k])
+	return syms
+}
+
+// scatterData writes codeword j's (corrected) data symbols back into the
+// payload buffer.
+func (c *Chipkill) scatterData(data []byte, j int, cw []byte) {
+	k := c.rs.K()
+	copy(data[j*k:(j+1)*k], cw[:k])
+}
+
+// placeCodeword writes an n-symbol codeword into the burst per the scheme.
+func (c *Chipkill) placeCodeword(b *Burst, j int, cw []byte) {
+	switch c.Scheme {
+	case SchemeSSC, SchemeSSCDSD:
+		// Symbol of chip ch = its two beats 2j and 2j+1 (byte j of the
+		// chip's 32-bit burst word).
+		for ch := 0; ch < c.Chips(); ch++ {
+			b.Chips[ch][j] = cw[ch]
+		}
+	case SchemeSSCVariant:
+		// Symbol of chip ch in codeword j = DQ j of chip ch across beats.
+		for ch := 0; ch < c.Chips(); ch++ {
+			for beat := 0; beat < 8; beat++ {
+				b.SetBit(ch, beat, j, (cw[ch]>>beat)&1)
+			}
+		}
+	}
+}
+
+// extractCodeword reads codeword j back out of the burst.
+func (c *Chipkill) extractCodeword(b *Burst, j int) []byte {
+	cw := make([]byte, c.Chips())
+	switch c.Scheme {
+	case SchemeSSC, SchemeSSCDSD:
+		for ch := 0; ch < c.Chips(); ch++ {
+			cw[ch] = b.Chips[ch][j]
+		}
+	case SchemeSSCVariant:
+		for ch := 0; ch < c.Chips(); ch++ {
+			var sym byte
+			for beat := 0; beat < 8; beat++ {
+				sym |= b.Bit(ch, beat, j) << beat
+			}
+			cw[ch] = sym
+		}
+	}
+	return cw
+}
+
+// GSDRAMStridedBurst models the Gather-Scatter layout under strided access:
+// each chip returns data from a *different row*, so chip ch's symbols come
+// from row ch's codeword while the check chips can only return one row's
+// check symbols. The returned burst therefore mixes symbols from rows[0..15]
+// with check symbols of rows[0] — the structural reason GS-DRAM cannot keep
+// chipkill (Section 3.3.1). rows must contain 16 encoded single-row bursts.
+func GSDRAMStridedBurst(rows []*Burst) *Burst {
+	if len(rows) != SSCDataChips {
+		panic("ecc: GSDRAMStridedBurst wants 16 row bursts")
+	}
+	out := NewBurst(SSCChips)
+	for ch := 0; ch < SSCDataChips; ch++ {
+		out.Chips[ch] = rows[ch].Chips[ch]
+	}
+	// The two check chips hold row 0's check symbols — matching only one of
+	// the sixteen gathered rows.
+	out.Chips[16] = rows[0].Chips[16]
+	out.Chips[17] = rows[0].Chips[17]
+	return out
+}
+
+// IntegrityOK reports whether a burst holds valid codewords (no error and
+// no miscorrection) under the codec.
+func (c *Chipkill) IntegrityOK(b *Burst) bool {
+	for j := 0; j < c.CodewordsPerBurst(); j++ {
+		syn := c.rs.Syndromes(c.extractCodeword(b, j))
+		for _, s := range syn {
+			if s != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Extended holds the stronger codeword construction the paper cites as an
+// extension of the SSC variant (Kim et al.'s Bamboo-style codes): one
+// 512-bit codeword of 72 8-bit symbols — each symbol a DQ's whole burst —
+// covering the entire 64B transfer. Four check-chip DQ symbols give
+// distance 9: up to four symbol errors correctable, i.e. one fully dead
+// chip per burst with a single decode, at the price of decoder latency.
+type Extended struct {
+	rs *RS
+}
+
+// NewExtended builds the 72-symbol large-codeword codec.
+func NewExtended() *Extended {
+	// 72 DQ symbols = 18 chips x 4 DQ; 64 data symbols + 8 check symbols.
+	return &Extended{rs: NewRS(72, 64, 4)}
+}
+
+// Encode lays out 64 data bytes as one codeword across all 72 DQ lanes of
+// an 18-chip burst (check symbols occupy the two check chips' lanes).
+func (e *Extended) Encode(data []byte) *Burst {
+	if len(data) != 64 {
+		panic(fmt.Sprintf("ecc: Extended.Encode wants 64 bytes, got %d", len(data)))
+	}
+	cw := e.rs.Encode(data)
+	b := NewBurst(SSCChips)
+	for i, sym := range cw {
+		chip, dq := i/4, i%4
+		for beat := 0; beat < 8; beat++ {
+			b.SetBit(chip, beat, dq, (sym>>beat)&1)
+		}
+	}
+	return b
+}
+
+// Decode extracts and corrects the large codeword.
+func (e *Extended) Decode(b *Burst) (data []byte, corrected int, err error) {
+	cw := make([]byte, 72)
+	for i := range cw {
+		chip, dq := i/4, i%4
+		var sym byte
+		for beat := 0; beat < 8; beat++ {
+			sym |= b.Bit(chip, beat, dq) << beat
+		}
+		cw[i] = sym
+	}
+	n, derr := e.rs.Decode(cw)
+	if derr != nil {
+		return nil, 0, derr
+	}
+	return cw[:64], n, nil
+}

@@ -1,0 +1,138 @@
+// Package ecc implements the error-correcting codes the paper's memory
+// system depends on: Hamming SEC-DED(72,64) for desktop parts, and the
+// chipkill family — SSC (single-symbol-correct) and SSC-DSD (single-symbol-
+// correct double-symbol-detect) — built on Reed-Solomon codes over GF(2^8),
+// plus the codeword<->burst layout schemes of Fig. 4 (a/b/c) that determine
+// whether a memory design keeps codeword integrity under strided access.
+package ecc
+
+// GF256 is the finite field GF(2^8) with the primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the field used by standard
+// Reed-Solomon chipkill constructions.
+type GF256 struct {
+	exp [512]byte // exp[i] = alpha^i, doubled to avoid mod in Mul
+	log [256]byte // log[exp[i]] = i; log[0] unused
+}
+
+// NewGF256 builds the log/antilog tables.
+func NewGF256() *GF256 {
+	f := &GF256{}
+	x := 1
+	for i := 0; i < 255; i++ {
+		f.exp[i] = byte(x)
+		f.log[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= 0x11D
+		}
+	}
+	for i := 255; i < 512; i++ {
+		f.exp[i] = f.exp[i-255]
+	}
+	return f
+}
+
+// Add returns a + b (XOR in characteristic 2).
+func (f *GF256) Add(a, b byte) byte { return a ^ b }
+
+// Mul returns a * b.
+func (f *GF256) Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.exp[int(f.log[a])+int(f.log[b])]
+}
+
+// Div returns a / b; it panics on division by zero.
+func (f *GF256) Div(a, b byte) byte {
+	if b == 0 {
+		panic("ecc: GF(2^8) division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return f.exp[int(f.log[a])+255-int(f.log[b])]
+}
+
+// Inv returns the multiplicative inverse of a; it panics on zero.
+func (f *GF256) Inv(a byte) byte {
+	if a == 0 {
+		panic("ecc: GF(2^8) inverse of zero")
+	}
+	return f.exp[255-int(f.log[a])]
+}
+
+// Exp returns alpha^i for any non-negative i.
+func (f *GF256) Exp(i int) byte { return f.exp[i%255] }
+
+// Log returns log_alpha(a) in [0,255); it panics on zero.
+func (f *GF256) Log(a byte) int {
+	if a == 0 {
+		panic("ecc: GF(2^8) log of zero")
+	}
+	return int(f.log[a])
+}
+
+// Pow returns a^n.
+func (f *GF256) Pow(a byte, n int) byte {
+	if a == 0 {
+		if n == 0 {
+			return 1
+		}
+		return 0
+	}
+	if n == 0 {
+		return 1
+	}
+	l := (int(f.log[a]) * n) % 255
+	if l < 0 {
+		l += 255
+	}
+	return f.exp[l]
+}
+
+// GF16 is GF(2^4) with primitive polynomial x^4 + x + 1 (0x13). The 4-bit
+// chip symbols of SSC-DSD live in this field; pairs of them are packed into
+// GF(2^8) symbols for the RS code, mirroring how real x4 chipkill gathers a
+// chip's two beats into one code symbol.
+type GF16 struct {
+	exp [30]byte
+	log [16]byte
+}
+
+// NewGF16 builds the log/antilog tables for GF(2^4).
+func NewGF16() *GF16 {
+	f := &GF16{}
+	x := 1
+	for i := 0; i < 15; i++ {
+		f.exp[i] = byte(x)
+		f.log[x] = byte(i)
+		x <<= 1
+		if x&0x10 != 0 {
+			x ^= 0x13
+		}
+	}
+	for i := 15; i < 30; i++ {
+		f.exp[i] = f.exp[i-15]
+	}
+	return f
+}
+
+// Add returns a + b in GF(2^4).
+func (f *GF16) Add(a, b byte) byte { return (a ^ b) & 0xF }
+
+// Mul returns a * b in GF(2^4).
+func (f *GF16) Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.exp[int(f.log[a&0xF])+int(f.log[b&0xF])]
+}
+
+// Inv returns the inverse of a in GF(2^4); it panics on zero.
+func (f *GF16) Inv(a byte) byte {
+	if a&0xF == 0 {
+		panic("ecc: GF(2^4) inverse of zero")
+	}
+	return f.exp[15-int(f.log[a&0xF])]
+}

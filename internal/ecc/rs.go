@@ -1,0 +1,243 @@
+package ecc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RS is a systematic Reed-Solomon code over GF(2^8) with n total symbols
+// and k data symbols (n-k check symbols), shortened from the natural length
+// 255. The decoder corrects up to MaxCorrect symbol errors (defaulting to
+// floor((n-k)/2)) and reports anything beyond as detected-uncorrectable.
+//
+// Chipkill instances:
+//   - SSC:      NewRS(18, 16, 1) — 16 data chips + 2 check chips, 8-bit
+//     symbols, corrects one dead chip per codeword.
+//   - SSC-DSD:  NewRS(36, 32, 1) — doubled channel of x4 chips; 4 check
+//     symbols give distance 5, but the deployed policy corrects one symbol
+//     and *detects* multi-symbol faults (MaxCorrect=1).
+type RS struct {
+	f          *GF256
+	n, k       int
+	MaxCorrect int
+	gen        []byte // generator polynomial, degree n-k, gen[0] = x^(n-k) coeff = 1
+}
+
+// ErrDetected reports an error pattern the decode policy cannot correct but
+// could detect; the memory system treats it as a fatal (machine-check) event.
+var ErrDetected = errors.New("ecc: uncorrectable error detected")
+
+// NewRS builds an RS(n,k) code. maxCorrect <= 0 selects the full correction
+// power floor((n-k)/2). It panics on invalid geometry.
+func NewRS(n, k, maxCorrect int) *RS {
+	if n <= k || k <= 0 || n > 255 {
+		panic(fmt.Sprintf("ecc: invalid RS geometry n=%d k=%d", n, k))
+	}
+	t := (n - k) / 2
+	if maxCorrect <= 0 || maxCorrect > t {
+		maxCorrect = t
+	}
+	r := &RS{f: NewGF256(), n: n, k: k, MaxCorrect: maxCorrect}
+	// g(x) = prod_{i=0}^{n-k-1} (x - alpha^i)
+	g := []byte{1}
+	for i := 0; i < n-k; i++ {
+		root := r.f.Exp(i)
+		next := make([]byte, len(g)+1)
+		for j, c := range g {
+			next[j] ^= r.f.Mul(c, root)
+			next[j+1] ^= c
+		}
+		g = next
+	}
+	// store with highest degree first
+	for i, j := 0, len(g)-1; i < j; i, j = i+1, j-1 {
+		g[i], g[j] = g[j], g[i]
+	}
+	r.gen = g
+	return r
+}
+
+// N returns the codeword length in symbols.
+func (r *RS) N() int { return r.n }
+
+// K returns the number of data symbols.
+func (r *RS) K() int { return r.k }
+
+// Encode appends n-k check symbols to the k data symbols and returns the
+// full n-symbol codeword (data first, systematic).
+func (r *RS) Encode(data []byte) []byte {
+	if len(data) != r.k {
+		panic(fmt.Sprintf("ecc: Encode wants %d data symbols, got %d", r.k, len(data)))
+	}
+	nc := r.n - r.k
+	// Polynomial long division of data * x^(n-k) by gen.
+	rem := make([]byte, nc)
+	for _, d := range data {
+		factor := d ^ rem[0]
+		copy(rem, rem[1:])
+		rem[nc-1] = 0
+		if factor != 0 {
+			for j := 1; j <= nc; j++ {
+				rem[j-1] ^= r.f.Mul(r.gen[j], factor)
+			}
+		}
+	}
+	out := make([]byte, r.n)
+	copy(out, data)
+	copy(out[r.k:], rem)
+	return out
+}
+
+// Syndromes computes the n-k syndromes of a received word; all-zero means
+// the word is a valid codeword.
+func (r *RS) Syndromes(recv []byte) []byte {
+	if len(recv) != r.n {
+		panic(fmt.Sprintf("ecc: Syndromes wants %d symbols, got %d", r.n, len(recv)))
+	}
+	nc := r.n - r.k
+	syn := make([]byte, nc)
+	for i := 0; i < nc; i++ {
+		// Evaluate the received polynomial at alpha^i. recv[0] holds the
+		// highest-degree coefficient (degree n-1).
+		var s byte
+		x := r.f.Exp(i)
+		for _, c := range recv {
+			s = r.f.Mul(s, x) ^ c
+		}
+		syn[i] = s
+	}
+	return syn
+}
+
+// Decode corrects recv in place (up to MaxCorrect symbol errors) and returns
+// the number of symbols corrected. It returns ErrDetected when the error
+// pattern exceeds the correction policy but is detectable.
+func (r *RS) Decode(recv []byte) (corrected int, err error) {
+	syn := r.Syndromes(recv)
+	zero := true
+	for _, s := range syn {
+		if s != 0 {
+			zero = false
+			break
+		}
+	}
+	if zero {
+		return 0, nil
+	}
+	lambda, errCount := r.berlekampMassey(syn)
+	if errCount == 0 || errCount > r.MaxCorrect {
+		return 0, ErrDetected
+	}
+	positions := r.chienSearch(lambda)
+	if len(positions) != errCount {
+		return 0, ErrDetected
+	}
+	r.forney(recv, syn, lambda, positions)
+	// Verify: residual syndromes must vanish.
+	for _, s := range r.Syndromes(recv) {
+		if s != 0 {
+			return 0, ErrDetected
+		}
+	}
+	return errCount, nil
+}
+
+// berlekampMassey returns the error-locator polynomial (lowest degree first)
+// and its degree (the estimated error count).
+func (r *RS) berlekampMassey(syn []byte) (lambda []byte, deg int) {
+	lambda = []byte{1}
+	b := []byte{1}
+	var l, m int = 0, 1
+	var bb byte = 1
+	for n := 0; n < len(syn); n++ {
+		var d byte = syn[n]
+		for i := 1; i <= l && i < len(lambda); i++ {
+			d ^= r.f.Mul(lambda[i], syn[n-i])
+		}
+		if d == 0 {
+			m++
+			continue
+		}
+		if 2*l <= n {
+			t := append([]byte(nil), lambda...)
+			coef := r.f.Div(d, bb)
+			lambda = polyAddShift(r.f, lambda, b, coef, m)
+			l = n + 1 - l
+			b = t
+			bb = d
+			m = 1
+		} else {
+			coef := r.f.Div(d, bb)
+			lambda = polyAddShift(r.f, lambda, b, coef, m)
+			m++
+		}
+	}
+	return lambda, l
+}
+
+// polyAddShift returns a + coef * b * x^shift (polynomials lowest degree
+// first).
+func polyAddShift(f *GF256, a, b []byte, coef byte, shift int) []byte {
+	size := len(a)
+	if len(b)+shift > size {
+		size = len(b) + shift
+	}
+	out := make([]byte, size)
+	copy(out, a)
+	for i, c := range b {
+		out[i+shift] ^= f.Mul(c, coef)
+	}
+	return out
+}
+
+// chienSearch finds error positions (indices into the received word, 0 =
+// highest-degree symbol = first byte) whose locators are roots of lambda.
+func (r *RS) chienSearch(lambda []byte) []int {
+	var positions []int
+	for pos := 0; pos < r.n; pos++ {
+		// Symbol at index pos has degree n-1-pos, locator X = alpha^(n-1-pos).
+		// It is an error position iff lambda(X^-1) == 0.
+		xInv := r.f.Exp((255 - (r.n - 1 - pos)) % 255)
+		var v byte
+		for i := len(lambda) - 1; i >= 0; i-- {
+			v = r.f.Mul(v, xInv) ^ lambda[i]
+		}
+		if v == 0 {
+			positions = append(positions, pos)
+		}
+	}
+	return positions
+}
+
+// forney computes error magnitudes and fixes recv in place.
+func (r *RS) forney(recv, syn, lambda []byte, positions []int) {
+	// Omega(x) = [S(x) * Lambda(x)] mod x^(n-k), with S(x) = sum syn[i] x^i.
+	nc := r.n - r.k
+	omega := make([]byte, nc)
+	for i := 0; i < nc; i++ {
+		for j := 0; j <= i && j < len(lambda); j++ {
+			omega[i] ^= r.f.Mul(syn[i-j], lambda[j])
+		}
+	}
+	// Lambda'(x): formal derivative — odd-degree terms survive.
+	for _, pos := range positions {
+		deg := r.n - 1 - pos
+		xInv := r.f.Exp((255 - deg) % 255)
+		// omega(xInv)
+		var num byte
+		for i := len(omega) - 1; i >= 0; i-- {
+			num = r.f.Mul(num, xInv) ^ omega[i]
+		}
+		// lambda'(xInv)
+		var den byte
+		for i := 1; i < len(lambda); i += 2 {
+			den ^= r.f.Mul(lambda[i], r.f.Pow(xInv, i-1))
+		}
+		if den == 0 {
+			continue // degenerate; residual-syndrome check will flag it
+		}
+		// Forney with b=0 syndromes carries an X_j^(1-b) = X_j factor.
+		mag := r.f.Mul(r.f.Exp(deg%255), r.f.Div(num, den))
+		recv[pos] ^= mag
+	}
+}

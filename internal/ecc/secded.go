@@ -1,0 +1,109 @@
+package ecc
+
+import "math/bits"
+
+// SECDED implements the (72,64) single-error-correct double-error-detect
+// Hamming code used by desktop ECC DIMMs (Fig. 4a): 8 check bits protect a
+// 64-bit word. The construction is an extended Hamming code — check bits
+// c0..c6 at power-of-two positions of a 127-bit layout plus an overall
+// parity bit for double-error detection.
+type SECDED struct{}
+
+// dataPos[i] is the 1-based Hamming position of data bit i in the 72-bit
+// layout (positions that are not powers of two).
+var dataPos [64]int
+
+func init() {
+	idx := 0
+	for pos := 1; idx < 64; pos++ {
+		if pos&(pos-1) == 0 { // power of two -> check bit
+			continue
+		}
+		dataPos[idx] = pos
+		idx++
+	}
+}
+
+// Codeword72 is a SEC-DED codeword: 64 data bits plus 8 check bits.
+type Codeword72 struct {
+	Data  uint64
+	Check uint8 // bit 0..6: Hamming checks c1,c2,c4,...; bit 7: overall parity
+}
+
+// Encode computes the check byte for the data word.
+func (SECDED) Encode(data uint64) Codeword72 {
+	var check uint8
+	for c := 0; c < 7; c++ {
+		mask := 1 << c
+		var p uint
+		for i := 0; i < 64; i++ {
+			if dataPos[i]&mask != 0 {
+				p ^= uint(data>>i) & 1
+			}
+		}
+		check |= uint8(p) << c
+	}
+	// Overall parity over data + hamming checks (even parity).
+	overall := uint(bits.OnesCount64(data)+bits.OnesCount8(check)) & 1
+	check |= uint8(overall) << 7
+	return Codeword72{Data: data, Check: check}
+}
+
+// DecodeResult describes the outcome of a SEC-DED decode.
+type DecodeResult int
+
+// Decode outcomes.
+const (
+	NoError DecodeResult = iota
+	CorrectedSingle
+	DetectedDouble
+)
+
+// Decode checks and (for single-bit errors) corrects the codeword in place.
+func (s SECDED) Decode(cw *Codeword72) DecodeResult {
+	// Syndrome: Hamming checks recomputed from received data vs. received
+	// check bits. Total parity: over the entire received 72-bit word — odd
+	// means an odd number of flips (single-correctable), even with nonzero
+	// syndrome means a double error.
+	var recomputed uint8
+	for c := 0; c < 7; c++ {
+		mask := 1 << c
+		var p uint
+		for i := 0; i < 64; i++ {
+			if dataPos[i]&mask != 0 {
+				p ^= uint(cw.Data>>i) & 1
+			}
+		}
+		recomputed |= uint8(p) << c
+	}
+	syndrome := (recomputed ^ cw.Check) & 0x7F
+	parityErr := (bits.OnesCount64(cw.Data)+bits.OnesCount8(cw.Check))&1 != 0
+
+	switch {
+	case syndrome == 0 && !parityErr:
+		return NoError
+	case syndrome == 0 && parityErr:
+		// Overall parity bit itself flipped.
+		cw.Check ^= 0x80
+		return CorrectedSingle
+	case parityErr:
+		// Odd number of flips with nonzero syndrome: single-bit error.
+		pos := int(syndrome)
+		if pos&(pos-1) == 0 {
+			// A check bit flipped.
+			c := bits.TrailingZeros(uint(pos))
+			cw.Check ^= 1 << c
+			return CorrectedSingle
+		}
+		for i := 0; i < 64; i++ {
+			if dataPos[i] == pos {
+				cw.Data ^= 1 << i
+				return CorrectedSingle
+			}
+		}
+		return DetectedDouble // syndrome points outside the layout
+	default:
+		// Nonzero syndrome with even parity: double-bit error.
+		return DetectedDouble
+	}
+}

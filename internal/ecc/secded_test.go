@@ -1,0 +1,119 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSECDEDCleanWord(t *testing.T) {
+	var s SECDED
+	for _, v := range []uint64{0, 1, ^uint64(0), 0xDEADBEEFCAFEF00D} {
+		cw := s.Encode(v)
+		if r := s.Decode(&cw); r != NoError {
+			t.Fatalf("clean word %x decoded as %v", v, r)
+		}
+		if cw.Data != v {
+			t.Fatalf("clean decode changed data")
+		}
+	}
+}
+
+func TestSECDEDCorrectsEverySingleDataBit(t *testing.T) {
+	var s SECDED
+	v := uint64(0x0123456789ABCDEF)
+	for bit := 0; bit < 64; bit++ {
+		cw := s.Encode(v)
+		cw.Data ^= 1 << bit
+		if r := s.Decode(&cw); r != CorrectedSingle {
+			t.Fatalf("bit %d: result %v, want CorrectedSingle", bit, r)
+		}
+		if cw.Data != v {
+			t.Fatalf("bit %d: data not restored", bit)
+		}
+	}
+}
+
+func TestSECDEDCorrectsEveryCheckBit(t *testing.T) {
+	var s SECDED
+	v := uint64(0xFEDCBA9876543210)
+	for bit := 0; bit < 8; bit++ {
+		cw := s.Encode(v)
+		cw.Check ^= 1 << bit
+		if r := s.Decode(&cw); r != CorrectedSingle {
+			t.Fatalf("check bit %d: result %v, want CorrectedSingle", bit, r)
+		}
+		if cw.Data != v {
+			t.Fatalf("check bit %d: data corrupted", bit)
+		}
+		want := s.Encode(v)
+		if cw.Check != want.Check {
+			t.Fatalf("check bit %d: check not restored", bit)
+		}
+	}
+}
+
+func TestSECDEDDetectsDoubleBit(t *testing.T) {
+	var s SECDED
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		v := rng.Uint64()
+		cw := s.Encode(v)
+		// Flip two distinct bits anywhere in the 72-bit codeword.
+		b1 := rng.Intn(72)
+		b2 := (b1 + 1 + rng.Intn(71)) % 72
+		flip := func(b int) {
+			if b < 64 {
+				cw.Data ^= 1 << b
+			} else {
+				cw.Check ^= 1 << (b - 64)
+			}
+		}
+		flip(b1)
+		flip(b2)
+		if r := s.Decode(&cw); r != DetectedDouble {
+			t.Fatalf("trial %d (bits %d,%d): result %v, want DetectedDouble", trial, b1, b2, r)
+		}
+	}
+}
+
+func TestSECDEDPropertySingleBit(t *testing.T) {
+	var s SECDED
+	f := func(v uint64, bit uint8) bool {
+		cw := s.Encode(v)
+		b := int(bit) % 72
+		if b < 64 {
+			cw.Data ^= 1 << b
+		} else {
+			cw.Check ^= 1 << (b - 64)
+		}
+		return s.Decode(&cw) == CorrectedSingle && cw.Data == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSECDEDCheckBitsDifferAcrossData(t *testing.T) {
+	// Distinct single-bit data patterns must yield distinct syndromes;
+	// this is what makes single-bit correction unambiguous.
+	var s SECDED
+	seen := make(map[uint8]int)
+	for bit := 0; bit < 64; bit++ {
+		cw := s.Encode(1 << bit)
+		base := s.Encode(0)
+		syn := (cw.Check ^ base.Check) & 0x7F
+		if prev, dup := seen[syn]; dup {
+			t.Fatalf("bits %d and %d share syndrome %02x", prev, bit, syn)
+		}
+		seen[syn] = bit
+	}
+}
+
+func BenchmarkSECDEDEncode(b *testing.B) {
+	var s SECDED
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Encode(uint64(i) * 0x9E3779B97F4A7C15)
+	}
+}

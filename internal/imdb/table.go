@@ -1,0 +1,194 @@
+// Package imdb is the in-memory-database substrate the paper's workloads
+// run on: relational tables of fixed-width 8-byte fields, deterministic
+// synthetic data, and the record-alignment rules (Fig. 11) that the memory
+// designs impose.
+//
+// Table values are generated lazily from a seeded mix function, so a
+// "10M-record" table costs no memory until written; updates and inserts go
+// to an overlay. Every executor result is therefore reproducible from
+// (seed, schema) alone — the determinism invariant the tests lean on.
+package imdb
+
+import "fmt"
+
+// FieldBytes is the fixed field width (Table 3: every field is 8 bytes).
+const FieldBytes = 8
+
+// Schema describes a table shape. Categorical maps a field index to its
+// cardinality: such fields draw uniformly from {0..card-1} instead of the
+// full uint64 range, which is how the benchmark's equality predicates
+// (UPDATE ... WHERE f10 = z) achieve their 25% selectivity.
+type Schema struct {
+	Name        string
+	Fields      int
+	Records     int
+	Categorical map[int]uint64
+}
+
+// RecordBytes returns the record size.
+func (s Schema) RecordBytes() int { return s.Fields * FieldBytes }
+
+// Validate checks the schema.
+func (s Schema) Validate() error {
+	if s.Fields <= 0 || s.Records < 0 {
+		return fmt.Errorf("imdb: invalid schema %+v", s)
+	}
+	return nil
+}
+
+// PredicateField is the benchmark's selection column (f10), generated with
+// four categories so that both "f10 > 2" (25% selectivity) and "f10 = 3"
+// (25%) behave as the paper describes.
+const PredicateField = 10
+
+// PredicateCardinality is the category count of the benchmark predicate
+// field.
+const PredicateCardinality = 4
+
+// Ta returns the paper's wide table: 128 fields (1KB records).
+func Ta(records int) Schema {
+	return Schema{Name: "Ta", Fields: 128, Records: records,
+		Categorical: map[int]uint64{PredicateField: PredicateCardinality}}
+}
+
+// Tb returns the paper's narrow table: 16 fields (128B records).
+func Tb(records int) Schema {
+	return Schema{Name: "Tb", Fields: 16, Records: records,
+		Categorical: map[int]uint64{PredicateField: PredicateCardinality}}
+}
+
+// Table is a lazily materialized relation.
+type Table struct {
+	Schema Schema
+	seed   uint64
+	// overlay holds values changed by UPDATE/INSERT, keyed by
+	// record*Fields+field.
+	overlay map[uint64]uint64
+	// extraRecords counts rows appended past Schema.Records by INSERT.
+	extraRecords int
+}
+
+// NewTable builds a table whose contents derive from seed.
+func NewTable(s Schema, seed uint64) *Table {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return &Table{Schema: s, seed: seed, overlay: make(map[uint64]uint64)}
+}
+
+// Records returns the current record count (base plus inserted).
+func (t *Table) Records() int { return t.Schema.Records + t.extraRecords }
+
+// Fields returns the field count.
+func (t *Table) Fields() int { return t.Schema.Fields }
+
+// mix is a splitmix64-style hash: cheap, deterministic, well distributed.
+func mix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func (t *Table) key(rec, field int) uint64 {
+	return uint64(rec)*uint64(t.Schema.Fields) + uint64(field)
+}
+
+// Value returns field `field` of record `rec`.
+func (t *Table) Value(rec, field int) uint64 {
+	if rec < 0 || rec >= t.Records() || field < 0 || field >= t.Schema.Fields {
+		panic(fmt.Sprintf("imdb: value (%d,%d) out of range for %s", rec, field, t.Schema.Name))
+	}
+	k := t.key(rec, field)
+	if v, ok := t.overlay[k]; ok {
+		return v
+	}
+	if rec >= t.Schema.Records {
+		return 0 // inserted records default to zero until written
+	}
+	v := mix(t.seed ^ mix(k))
+	if card, ok := t.Schema.Categorical[field]; ok && card > 0 {
+		v %= card
+	}
+	return v
+}
+
+// SetValue updates one field.
+func (t *Table) SetValue(rec, field int, v uint64) {
+	if rec < 0 || rec >= t.Records() || field < 0 || field >= t.Schema.Fields {
+		panic(fmt.Sprintf("imdb: set (%d,%d) out of range for %s", rec, field, t.Schema.Name))
+	}
+	t.overlay[t.key(rec, field)] = v
+}
+
+// Append adds a record with the given field values (INSERT) and returns its
+// index.
+func (t *Table) Append(values []uint64) int {
+	if len(values) != t.Schema.Fields {
+		panic(fmt.Sprintf("imdb: append with %d values to %d-field table", len(values), t.Schema.Fields))
+	}
+	rec := t.Records()
+	t.extraRecords++
+	for f, v := range values {
+		t.overlay[t.key(rec, f)] = v
+	}
+	return rec
+}
+
+// SelectivityThreshold returns a predicate constant x such that
+// "field > x" holds for approximately the requested fraction of the base
+// records. Values are uniform over uint64, so the threshold is analytic.
+func SelectivityThreshold(frac float64) uint64 {
+	if frac <= 0 {
+		return ^uint64(0)
+	}
+	if frac >= 1 {
+		return 0
+	}
+	return uint64((1 - frac) * float64(^uint64(0)))
+}
+
+// Percentile returns the value v such that "field < v" selects
+// approximately frac of uniform records.
+func Percentile(frac float64) uint64 {
+	if frac <= 0 {
+		return 0
+	}
+	if frac >= 1 {
+		return ^uint64(0)
+	}
+	return uint64(frac * float64(^uint64(0)))
+}
+
+// Alignment describes the record alignment a design requires (Fig. 11):
+// records padded and grouped so that every group of GroupRecords records
+// starts at a GroupBytes boundary.
+type Alignment struct {
+	GroupRecords int // N records per aligned group (SAM: stride reach)
+	SegmentBytes int // GS-DRAM: records split into cacheline segments
+}
+
+// GroupOf returns the aligned group index of a record.
+func (a Alignment) GroupOf(rec int) int {
+	if a.GroupRecords <= 0 {
+		return rec
+	}
+	return rec / a.GroupRecords
+}
+
+// Fragmentation estimates the wasted fraction when a table of the given
+// record size is aligned in units of alignBytes (RC-NVM's KB-scale
+// alignment wastes space whenever records do not pack evenly).
+func Fragmentation(recordBytes, alignBytes int) float64 {
+	if alignBytes <= 0 || recordBytes <= 0 {
+		return 0
+	}
+	perUnit := alignBytes / recordBytes
+	if perUnit == 0 {
+		// Record larger than the unit: round up to whole units.
+		units := (recordBytes + alignBytes - 1) / alignBytes
+		return float64(units*alignBytes-recordBytes) / float64(units*alignBytes)
+	}
+	used := perUnit * recordBytes
+	return float64(alignBytes-used) / float64(alignBytes)
+}

@@ -1,0 +1,244 @@
+package imdb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSchemas(t *testing.T) {
+	ta := Ta(1000)
+	if ta.Fields != 128 || ta.RecordBytes() != 1024 {
+		t.Fatalf("Ta: %+v", ta)
+	}
+	tb := Tb(1000)
+	if tb.Fields != 16 || tb.RecordBytes() != 128 {
+		t.Fatalf("Tb: %+v", tb)
+	}
+	if (Schema{Fields: 0}).Validate() == nil {
+		t.Fatal("zero-field schema accepted")
+	}
+}
+
+func TestValuesDeterministic(t *testing.T) {
+	a := NewTable(Ta(100), 42)
+	b := NewTable(Ta(100), 42)
+	c := NewTable(Ta(100), 43)
+	same, diff := 0, 0
+	for r := 0; r < 100; r++ {
+		for f := 0; f < 128; f += 17 {
+			if a.Value(r, f) != b.Value(r, f) {
+				t.Fatalf("same seed diverged at (%d,%d)", r, f)
+			}
+			if a.Value(r, f) == c.Value(r, f) {
+				same++
+			} else {
+				diff++
+			}
+		}
+	}
+	if same > diff/100 {
+		t.Fatalf("different seeds produce suspiciously equal data: %d same, %d diff", same, diff)
+	}
+}
+
+func TestValueDistributionRoughlyUniform(t *testing.T) {
+	// SelectivityThreshold relies on uniformity; check the top bit is fair.
+	tb := NewTable(Tb(4000), 7)
+	high := 0
+	for r := 0; r < 4000; r++ {
+		if tb.Value(r, 9) > math.MaxUint64/2 {
+			high++
+		}
+	}
+	if high < 1800 || high > 2200 {
+		t.Fatalf("top-bit balance %d/4000", high)
+	}
+}
+
+func TestOverlayUpdate(t *testing.T) {
+	tb := NewTable(Tb(10), 1)
+	orig := tb.Value(3, 5)
+	tb.SetValue(3, 5, orig+1)
+	if tb.Value(3, 5) != orig+1 {
+		t.Fatal("update lost")
+	}
+	if tb.Value(3, 6) == orig+1 && tb.Value(4, 5) == orig+1 {
+		t.Fatal("update leaked to other cells")
+	}
+}
+
+func TestAppend(t *testing.T) {
+	tb := NewTable(Tb(10), 1)
+	vals := make([]uint64, 16)
+	for i := range vals {
+		vals[i] = uint64(i * 100)
+	}
+	rec := tb.Append(vals)
+	if rec != 10 || tb.Records() != 11 {
+		t.Fatalf("append landed at %d, records %d", rec, tb.Records())
+	}
+	if tb.Value(10, 3) != 300 {
+		t.Fatalf("appended value = %d", tb.Value(10, 3))
+	}
+}
+
+func TestAppendWrongWidthPanics(t *testing.T) {
+	tb := NewTable(Tb(10), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short append accepted")
+		}
+	}()
+	tb.Append(make([]uint64, 3))
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	tb := NewTable(Tb(10), 1)
+	for name, fn := range map[string]func(){
+		"value rec":   func() { tb.Value(10, 0) },
+		"value field": func() { tb.Value(0, 16) },
+		"set rec":     func() { tb.SetValue(-1, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSelectivityThreshold(t *testing.T) {
+	tb := NewTable(Tb(20000), 99)
+	for _, frac := range []float64{0.25, 0.5, 0.9} {
+		x := SelectivityThreshold(frac)
+		hits := 0
+		for r := 0; r < 20000; r++ {
+			if tb.Value(r, 9) > x {
+				hits++
+			}
+		}
+		got := float64(hits) / 20000
+		if math.Abs(got-frac) > 0.02 {
+			t.Errorf("selectivity %.2f measured %.3f", frac, got)
+		}
+	}
+	if SelectivityThreshold(0) != ^uint64(0) || SelectivityThreshold(1) != 0 {
+		t.Fatal("threshold extremes")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	tb := NewTable(Tb(20000), 123)
+	v := Percentile(0.1)
+	hits := 0
+	for r := 0; r < 20000; r++ {
+		if tb.Value(r, 0) < v {
+			hits++
+		}
+	}
+	got := float64(hits) / 20000
+	if math.Abs(got-0.1) > 0.02 {
+		t.Fatalf("percentile 0.1 measured %.3f", got)
+	}
+	if Percentile(0) != 0 || Percentile(1) != ^uint64(0) {
+		t.Fatal("percentile extremes")
+	}
+}
+
+func TestAlignmentGroups(t *testing.T) {
+	a := Alignment{GroupRecords: 4}
+	if a.GroupOf(0) != 0 || a.GroupOf(3) != 0 || a.GroupOf(4) != 1 {
+		t.Fatal("group mapping")
+	}
+	none := Alignment{}
+	if none.GroupOf(7) != 7 {
+		t.Fatal("no grouping should be identity")
+	}
+}
+
+func TestFragmentation(t *testing.T) {
+	// 128B records in 1KB units pack perfectly.
+	if f := Fragmentation(128, 1024); f != 0 {
+		t.Fatalf("perfect packing wastes %v", f)
+	}
+	// 100B records in 1KB units: 10 fit, 24B wasted.
+	if f := Fragmentation(100, 1024); math.Abs(f-24.0/1024) > 1e-12 {
+		t.Fatalf("fragmentation = %v", f)
+	}
+	// 1000B record in 512B units: 2 units, 24B wasted.
+	if f := Fragmentation(1000, 512); math.Abs(f-24.0/1024) > 1e-12 {
+		t.Fatalf("oversize fragmentation = %v", f)
+	}
+	if Fragmentation(0, 10) != 0 || Fragmentation(10, 0) != 0 {
+		t.Fatal("degenerate inputs")
+	}
+}
+
+func TestMixAvalanche(t *testing.T) {
+	// Neighbouring keys must produce wildly different values (no strides in
+	// the synthetic data itself).
+	f := func(x uint64) bool {
+		a, b := mix(x), mix(x+1)
+		diff := a ^ b
+		// At least 8 bits must differ.
+		n := 0
+		for diff != 0 {
+			n++
+			diff &= diff - 1
+		}
+		return n >= 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCategoricalField(t *testing.T) {
+	// The predicate field f10 draws from four categories with ~25% each.
+	tb := NewTable(Tb(40000), 5)
+	counts := map[uint64]int{}
+	for r := 0; r < 40000; r++ {
+		v := tb.Value(r, PredicateField)
+		if v >= PredicateCardinality {
+			t.Fatalf("categorical value %d out of range", v)
+		}
+		counts[v]++
+	}
+	for v, n := range counts {
+		frac := float64(n) / 40000
+		if frac < 0.23 || frac > 0.27 {
+			t.Fatalf("category %d has share %.3f, want ~0.25", v, frac)
+		}
+	}
+	// "f10 > 2" and "f10 = 3" therefore both select ~25%.
+	gt2, eq3 := 0, 0
+	for r := 0; r < 40000; r++ {
+		v := tb.Value(r, PredicateField)
+		if v > 2 {
+			gt2++
+		}
+		if v == 3 {
+			eq3++
+		}
+	}
+	if gt2 != eq3 {
+		t.Fatal("categorical predicate equivalence broken")
+	}
+}
+
+func TestNonCategoricalFieldsFullRange(t *testing.T) {
+	ta := NewTable(Ta(100), 6)
+	big := 0
+	for r := 0; r < 100; r++ {
+		if ta.Value(r, 9) > 1<<32 {
+			big++
+		}
+	}
+	if big < 30 {
+		t.Fatal("non-categorical field looks truncated")
+	}
+}

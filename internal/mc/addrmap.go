@@ -1,0 +1,188 @@
+// Package mc implements the memory controller: physical address mapping,
+// the FR-FCFS open-page command scheduler with a drained write queue, and
+// refresh management — the controller personality Table 2 of the paper
+// specifies (open-page, FR-FCFS, 32-entry write queue, rw:rk:bk:ch:cl:offset
+// mapping).
+package mc
+
+import (
+	"fmt"
+	"math/bits"
+
+	"sam/internal/dram"
+)
+
+// Interleave selects the field order of the physical address map.
+type Interleave int
+
+// Interleavings.
+const (
+	// ColumnsLow is the paper's rw:rk:bk:ch:cl:offset order: consecutive
+	// cachelines walk the columns of one row (row-buffer friendly
+	// streaming, tCCD_L-paced within a bank group).
+	ColumnsLow Interleave = iota
+	// BanksLow rotates consecutive cachelines across banks
+	// (rw:cl:ch:rk:bk:offset): worse row locality, better bank-level
+	// parallelism — the classic interleaving trade-off, exposed for the
+	// ablation bench.
+	BanksLow
+)
+
+// String names the interleaving.
+func (i Interleave) String() string {
+	if i == BanksLow {
+		return "banks-low"
+	}
+	return "columns-low"
+}
+
+// AddrMap translates flat physical addresses to DRAM coordinates. The
+// default order is the paper's rw:rk:bk:ch:cl:offset layout (row in the
+// most significant bits, byte offset in the least).
+type AddrMap struct {
+	geo dram.Geometry
+	il  Interleave
+
+	offBits, colBits, chBits, bankBits, rankBits int
+}
+
+// NewAddrMap builds the paper's default mapping; it panics when a field is
+// not a power of two (hardware address decoding requires it).
+func NewAddrMap(geo dram.Geometry) *AddrMap {
+	return NewAddrMapInterleave(geo, ColumnsLow)
+}
+
+// NewAddrMapInterleave builds a mapping with the chosen field order.
+func NewAddrMapInterleave(geo dram.Geometry, il Interleave) *AddrMap {
+	log2 := func(v int, what string) int {
+		if v <= 0 || v&(v-1) != 0 {
+			panic(fmt.Sprintf("mc: %s = %d is not a power of two", what, v))
+		}
+		return bits.TrailingZeros(uint(v))
+	}
+	return &AddrMap{
+		geo:      geo,
+		il:       il,
+		offBits:  log2(geo.LineBytes, "line bytes"),
+		colBits:  log2(geo.LinesPerRow(), "lines per row"),
+		chBits:   log2(geo.Channels, "channels"),
+		bankBits: log2(geo.Banks(), "banks per rank"),
+		rankBits: log2(geo.Ranks, "ranks"),
+	}
+}
+
+// Coord is a fully decoded DRAM location.
+type Coord struct {
+	Channel int
+	Rank    int
+	Group   int
+	Bank    int
+	Row     int
+	Col     int // cacheline column within the row
+	Offset  int // byte offset within the line
+}
+
+// Decode splits a physical address into DRAM coordinates.
+func (m *AddrMap) Decode(addr uint64) Coord {
+	take := func(n int) int {
+		v := addr & (1<<uint(n) - 1)
+		addr >>= uint(n)
+		return int(v)
+	}
+	var c Coord
+	c.Offset = take(m.offBits)
+	switch m.il {
+	case BanksLow:
+		bank := take(m.bankBits)
+		c.Group = bank % m.geo.BankGroups
+		c.Bank = bank / m.geo.BankGroups
+		c.Rank = take(m.rankBits)
+		c.Channel = take(m.chBits)
+		c.Col = take(m.colBits)
+	default:
+		c.Col = take(m.colBits)
+		c.Channel = take(m.chBits)
+		bank := take(m.bankBits)
+		c.Group = bank % m.geo.BankGroups
+		c.Bank = bank / m.geo.BankGroups
+		c.Rank = take(m.rankBits)
+	}
+	c.Row = int(addr)
+	return c
+}
+
+// Encode is the inverse of Decode.
+func (m *AddrMap) Encode(c Coord) uint64 {
+	addr := uint64(c.Row)
+	switch m.il {
+	case BanksLow:
+		addr = addr<<uint(m.colBits) | uint64(c.Col)
+		addr = addr<<uint(m.chBits) | uint64(c.Channel)
+		addr = addr<<uint(m.rankBits) | uint64(c.Rank)
+		addr = addr<<uint(m.bankBits) | uint64(c.Bank*m.geo.BankGroups+c.Group)
+	default:
+		addr = addr<<uint(m.rankBits) | uint64(c.Rank)
+		addr = addr<<uint(m.bankBits) | uint64(c.Bank*m.geo.BankGroups+c.Group)
+		addr = addr<<uint(m.chBits) | uint64(c.Channel)
+		addr = addr<<uint(m.colBits) | uint64(c.Col)
+	}
+	addr = addr<<uint(m.offBits) | uint64(c.Offset)
+	return addr
+}
+
+// LineAddr clears the intra-line offset.
+func (m *AddrMap) LineAddr(addr uint64) uint64 {
+	return addr &^ (1<<uint(m.offBits) - 1)
+}
+
+// LineBytes returns the cacheline size the map was built for.
+func (m *AddrMap) LineBytes() int { return m.geo.LineBytes }
+
+// StrideRemap implements the stride-mode virtual-to-physical bit swap of
+// Fig. 10: under stride mode, a small segment of the page offset exchanges
+// places with the bits selecting consecutive cachelines' rows/sub-rows, so
+// that the same-offset sectors of N group-aligned cachelines land in the
+// positions one strided burst gathers.
+//
+// Concretely, reachBits = log2(N) line-index bits are swapped with the
+// sector-index bits directly above the sector offset. The transform is an
+// involution (applying it twice yields the original address).
+type StrideRemap struct {
+	SectorBytes int // strided granularity in bytes (16 for SSC 8-bit/chip)
+	Reach       int // cachelines gathered per strided burst (N = 4 or 8)
+	LineBytes   int
+}
+
+// Remap applies the bit swap. With sectorBits = log2(LineBytes/SectorBytes)
+// sector-index bits sitting above log2(SectorBytes) offset bits, and
+// reachBits line-index bits above those, the two fields exchange places.
+func (s StrideRemap) Remap(addr uint64) uint64 {
+	secSize := uint(bits.TrailingZeros(uint(s.SectorBytes)))
+	secBits := uint(bits.TrailingZeros(uint(s.LineBytes / s.SectorBytes)))
+	reachBits := uint(bits.TrailingZeros(uint(s.Reach)))
+
+	low := addr & (1<<secSize - 1)                             // offset within sector
+	sector := (addr >> secSize) & (1<<secBits - 1)             // sector index within line
+	line := (addr >> (secSize + secBits)) & (1<<reachBits - 1) // line index within group
+	high := addr >> (secSize + secBits + reachBits)
+
+	// Swap the sector and line fields.
+	out := high
+	out = out<<secBits | sector
+	out = out<<reachBits | line
+	out = out<<secSize | low
+	return out
+}
+
+// Valid reports whether the remap geometry is self-consistent.
+func (s StrideRemap) Valid() bool {
+	pow2 := func(v int) bool { return v > 0 && v&(v-1) == 0 }
+	return pow2(s.SectorBytes) && pow2(s.Reach) && pow2(s.LineBytes) &&
+		s.SectorBytes <= s.LineBytes &&
+		s.LineBytes%s.SectorBytes == 0 &&
+		// The swap only works when both fields have equal total width or,
+		// as here, we relocate fields of possibly different widths — the
+		// transform above is a bijection regardless, but reach and sector
+		// counts must each fit their fields.
+		s.Reach >= 1
+}

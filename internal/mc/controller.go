@@ -1,0 +1,386 @@
+package mc
+
+import (
+	"fmt"
+
+	"sam/internal/dram"
+	"sam/internal/stats"
+)
+
+// Request is one memory transaction the controller schedules: a cacheline
+// (regular) or strided-sector-group (stride mode) read or write.
+type Request struct {
+	ID      uint64
+	Addr    uint64
+	IsWrite bool
+	// Stride marks a SAM strided access; Lane selects the Sx4_n mode.
+	Stride bool
+	Lane   int
+	// Gang marks a dual-rank fine-granularity burst (Section 4.4).
+	Gang bool
+	// Arrival is when the request reaches the controller (bus cycles).
+	Arrival dram.Cycle
+}
+
+// Completion reports a serviced request.
+type Completion struct {
+	Req       Request
+	IssueAt   dram.Cycle // column command issue
+	DataStart dram.Cycle
+	DataEnd   dram.Cycle
+	RowHit    bool
+	RowEmpty  bool // bank was closed (neither hit nor conflict)
+}
+
+// Stats aggregates controller-level behaviour.
+type Stats struct {
+	Reads, Writes        uint64
+	RowHits, RowMisses   uint64
+	RowEmpties           uint64
+	Refreshes            uint64
+	WriteDrains          uint64
+	TotalReadLatency     uint64 // arrival -> data end, reads only
+	MaxQueueOccupancy    int
+	IssuedCommands       uint64
+	StrideAccesses       uint64
+	ModeSwitches         uint64
+	StarvationBreaks     uint64
+	BusCycleOfLastAccess dram.Cycle
+}
+
+// Controller schedules requests onto one dram.Device with FR-FCFS and an
+// open-page policy. It is single-channel, matching the paper's setup; the
+// simulator instantiates one per channel.
+type Controller struct {
+	dev  *dram.Device
+	amap *AddrMap
+	cfg  Config
+
+	readQ  []*Request
+	writeQ []*Request
+	// draining latches the write-drain state (hysteresis between high and
+	// low watermarks).
+	draining bool
+
+	now   dram.Cycle
+	Stats Stats
+
+	// Audit, when set, receives every issued command (tests use this to
+	// verify protocol legality end to end).
+	Audit *dram.Auditor
+	// LatencyHist, when set, observes every read's arrival-to-data-end
+	// latency in bus cycles.
+	LatencyHist *stats.Histogram
+}
+
+// Config tunes the controller.
+type Config struct {
+	WriteQueueCap  int // Table 2: 32
+	WriteDrainHigh int // start draining at this occupancy
+	WriteDrainLow  int // stop draining at this occupancy
+	// ReadQueueCap bounds the read queue; enqueueing beyond it reports
+	// back-pressure to the caller.
+	ReadQueueCap int
+	// Interleave selects the physical address mapping (ablation knob;
+	// defaults to the paper's columns-low order).
+	Interleave Interleave
+}
+
+// DefaultConfig mirrors Table 2.
+func DefaultConfig() Config {
+	return Config{WriteQueueCap: 32, WriteDrainHigh: 24, WriteDrainLow: 8, ReadQueueCap: 64}
+}
+
+// NewController builds a controller over a device.
+func NewController(dev *dram.Device, cfg Config) *Controller {
+	if cfg.WriteQueueCap <= 0 || cfg.WriteDrainHigh > cfg.WriteQueueCap || cfg.WriteDrainLow >= cfg.WriteDrainHigh || cfg.ReadQueueCap <= 0 {
+		panic(fmt.Sprintf("mc: invalid config %+v", cfg))
+	}
+	return &Controller{
+		dev:  dev,
+		amap: NewAddrMapInterleave(dev.Config().Geometry, cfg.Interleave),
+		cfg:  cfg,
+	}
+}
+
+// AddrMap exposes the controller's address mapping.
+func (c *Controller) AddrMap() *AddrMap { return c.amap }
+
+// Pending returns the number of queued requests.
+func (c *Controller) Pending() int { return len(c.readQ) + len(c.writeQ) }
+
+// CanAccept reports whether a request of the given kind can be enqueued.
+func (c *Controller) CanAccept(isWrite bool) bool {
+	if isWrite {
+		return len(c.writeQ) < c.cfg.WriteQueueCap
+	}
+	return len(c.readQ) < c.cfg.ReadQueueCap
+}
+
+// Enqueue adds a request. Callers must respect CanAccept.
+func (c *Controller) Enqueue(r Request) {
+	if !c.CanAccept(r.IsWrite) {
+		panic("mc: enqueue past queue capacity")
+	}
+	req := r
+	if req.IsWrite {
+		c.writeQ = append(c.writeQ, &req)
+	} else {
+		c.readQ = append(c.readQ, &req)
+	}
+	if occ := c.Pending(); occ > c.Stats.MaxQueueOccupancy {
+		c.Stats.MaxQueueOccupancy = occ
+	}
+}
+
+// Now returns the controller's current time.
+func (c *Controller) Now() dram.Cycle { return c.now }
+
+// ServiceOne advances the controller until it completes one request and
+// returns its completion. It returns ok=false when no requests are queued.
+func (c *Controller) ServiceOne() (Completion, bool) {
+	q := c.pickQueue()
+	if q == nil {
+		return Completion{}, false
+	}
+	idx := c.frFCFS(*q)
+	req := (*q)[idx]
+	*q = append((*q)[:idx], (*q)[idx+1:]...)
+
+	if c.now < req.Arrival {
+		c.now = req.Arrival
+	}
+	c.serviceRefresh()
+	c.prepareAhead(*q, req)
+	comp := c.access(req)
+	if req.IsWrite {
+		c.Stats.Writes++
+	} else {
+		c.Stats.Reads++
+		lat := uint64(comp.DataEnd - req.Arrival)
+		c.Stats.TotalReadLatency += lat
+		if c.LatencyHist != nil {
+			c.LatencyHist.Observe(lat)
+		}
+	}
+	if req.Stride {
+		c.Stats.StrideAccesses++
+	}
+	c.Stats.BusCycleOfLastAccess = comp.DataEnd
+	return comp, true
+}
+
+// pickQueue decides between the read queue and the write queue (reads have
+// priority; writes drain in batches between watermarks or when no reads
+// are pending).
+func (c *Controller) pickQueue() *[]*Request {
+	if len(c.writeQ) >= c.cfg.WriteDrainHigh {
+		c.draining = true
+	}
+	if len(c.writeQ) <= c.cfg.WriteDrainLow {
+		c.draining = false
+	}
+	switch {
+	case c.draining && len(c.writeQ) > 0:
+		c.Stats.WriteDrains++
+		return &c.writeQ
+	case len(c.readQ) > 0:
+		return &c.readQ
+	case len(c.writeQ) > 0:
+		return &c.writeQ
+	default:
+		return nil
+	}
+}
+
+// starvationLimit caps FR-FCFS reordering: once the oldest *read* has
+// waited this many cycles, it is serviced regardless of row-hit status
+// (invariant 8 — no demand request waits unboundedly behind a hit stream).
+// Writes are posted and latency-insensitive, so the drain keeps its
+// row-batching freedom. The bound is generous: it exists to prevent
+// unbounded starvation, not to second-guess FR-FCFS.
+const starvationLimit = 16384
+
+// frFCFS returns the index of the best candidate: first ready row-buffer
+// hit, else the oldest request. Only requests that have arrived by now are
+// preferred; if none have arrived, the earliest-arriving one is chosen.
+func (c *Controller) frFCFS(q []*Request) int {
+	best := -1
+	var bestArrival dram.Cycle
+	// Starvation guard: an over-aged oldest read preempts the hit scan.
+	oldest := 0
+	for i, r := range q {
+		if r.Arrival < q[oldest].Arrival {
+			oldest = i
+		}
+	}
+	if !q[oldest].IsWrite && q[oldest].Arrival <= c.now-starvationLimit {
+		c.Stats.StarvationBreaks++
+		return oldest
+	}
+	// Pass 1: arrived row hits, oldest first.
+	for i, r := range q {
+		if r.Arrival > c.now {
+			continue
+		}
+		co := c.amap.Decode(r.Addr)
+		if row, open := c.dev.BankOpenRow(co.Rank, co.Group, co.Bank); open && row == co.Row {
+			if best == -1 || r.Arrival < bestArrival {
+				best, bestArrival = i, r.Arrival
+			}
+		}
+	}
+	if best != -1 {
+		return best
+	}
+	// Pass 2: oldest request overall.
+	for i, r := range q {
+		if best == -1 || r.Arrival < bestArrival {
+			best, bestArrival = i, r.Arrival
+		}
+	}
+	return best
+}
+
+// prepareLookahead bounds how many future requests get their banks opened
+// early while the current request's column access is still pending — the
+// bank-preparation pipelining every real controller performs.
+const prepareLookahead = 8
+
+// prepareAhead issues PRE/ACT for upcoming queued requests whose banks are
+// not ready, so their row activations overlap the current request's column
+// access instead of serializing behind it. A bank is only prepared when no
+// other arrived request still wants its currently open row.
+func (c *Controller) prepareAhead(q []*Request, current *Request) {
+	prepared := 0
+	for _, r := range q {
+		if prepared >= prepareLookahead {
+			return
+		}
+		if r == current || r.Arrival > c.now {
+			continue
+		}
+		co := c.amap.Decode(r.Addr)
+		cur := c.amap.Decode(current.Addr)
+		if co.Rank == cur.Rank && co.Group == cur.Group && co.Bank == cur.Bank {
+			continue // never disturb the bank the current request needs
+		}
+		row, open := c.dev.BankOpenRow(co.Rank, co.Group, co.Bank)
+		if open && row == co.Row {
+			continue // already a row hit
+		}
+		if open {
+			if c.anyArrivedWantsRow(co, row, r) {
+				continue // precharging would kill a pending row hit
+			}
+			c.issue(dram.Command{Kind: dram.CmdPRE, Rank: co.Rank, Group: co.Group, Bank: co.Bank})
+		}
+		c.issue(dram.Command{Kind: dram.CmdACT, Rank: co.Rank, Group: co.Group, Bank: co.Bank, Row: co.Row, GangRanks: r.Gang})
+		prepared++
+	}
+}
+
+// anyArrivedWantsRow reports whether any arrived queued request other than
+// skip targets the given open row of the bank in co.
+func (c *Controller) anyArrivedWantsRow(co Coord, row int, skip *Request) bool {
+	check := func(q []*Request) bool {
+		for _, r := range q {
+			if r == skip || r.Arrival > c.now {
+				continue
+			}
+			o := c.amap.Decode(r.Addr)
+			if o.Rank == co.Rank && o.Group == co.Group && o.Bank == co.Bank && o.Row == row {
+				return true
+			}
+		}
+		return false
+	}
+	return check(c.readQ) || check(c.writeQ)
+}
+
+// serviceRefresh issues REF commands for any rank whose deadline passed.
+func (c *Controller) serviceRefresh() {
+	for r := 0; r < c.dev.Config().Geometry.Ranks; r++ {
+		for c.dev.RefreshDue(r) <= c.now {
+			cmd := dram.Command{Kind: dram.CmdREF, Rank: r}
+			at := c.issue(cmd)
+			c.Stats.Refreshes++
+			_ = at
+		}
+	}
+}
+
+// issue sends one command to the device at its earliest legal time and
+// returns that time. The controller's `now` ratchets per serviced request,
+// so bank-local command order is always preserved; prepared-ahead ACTs may
+// land at later times than a subsequently issued column command to another
+// bank, exactly as on a real C/A bus.
+func (c *Controller) issue(cmd dram.Command) dram.Cycle {
+	at := c.dev.EarliestIssue(cmd, c.now)
+	c.dev.Issue(cmd, at)
+	if c.Audit != nil {
+		c.Audit.Record(cmd, at)
+	}
+	c.Stats.IssuedCommands++
+	return at
+}
+
+// access performs the PRE/ACT/column sequence for one request.
+func (c *Controller) access(r *Request) Completion {
+	co := c.amap.Decode(r.Addr)
+	comp := Completion{Req: *r}
+
+	openRow, open := c.dev.BankOpenRow(co.Rank, co.Group, co.Bank)
+	switch {
+	case open && openRow == co.Row:
+		comp.RowHit = true
+		c.Stats.RowHits++
+	case open:
+		c.Stats.RowMisses++
+		c.issue(dram.Command{Kind: dram.CmdPRE, Rank: co.Rank, Group: co.Group, Bank: co.Bank})
+		c.issue(dram.Command{Kind: dram.CmdACT, Rank: co.Rank, Group: co.Group, Bank: co.Bank, Row: co.Row, GangRanks: r.Gang})
+	default:
+		comp.RowEmpty = true
+		c.Stats.RowEmpties++
+		c.issue(dram.Command{Kind: dram.CmdACT, Rank: co.Rank, Group: co.Group, Bank: co.Bank, Row: co.Row, GangRanks: r.Gang})
+	}
+
+	kind := dram.CmdRD
+	if r.IsWrite {
+		kind = dram.CmdWR
+	}
+	mode := dram.ModeX4
+	if r.Stride {
+		mode = dram.ModeStride0 + dram.IOMode(r.Lane%4)
+	}
+	cmd := dram.Command{
+		Kind: kind, Rank: co.Rank, Group: co.Group, Bank: co.Bank,
+		Row: co.Row, Col: co.Col, Mode: mode, GangRanks: r.Gang,
+	}
+	at := c.dev.EarliestIssue(cmd, c.now)
+	res := c.dev.Issue(cmd, at)
+	if c.Audit != nil {
+		c.Audit.Record(cmd, at)
+	}
+	c.Stats.IssuedCommands++
+	if res.ModeSwitched {
+		c.Stats.ModeSwitches++
+	}
+	comp.IssueAt = at
+	comp.DataStart = res.DataStart
+	comp.DataEnd = res.DataEnd
+	c.now = at
+	return comp
+}
+
+// Drain services every queued request and returns the completions.
+func (c *Controller) Drain() []Completion {
+	var out []Completion
+	for {
+		comp, ok := c.ServiceOne()
+		if !ok {
+			return out
+		}
+		out = append(out, comp)
+	}
+}

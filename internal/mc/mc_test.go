@@ -1,0 +1,445 @@
+package mc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sam/internal/dram"
+	"sam/internal/stats"
+)
+
+func newTestController() *Controller {
+	dev := dram.NewDevice(dram.DDR4_2400())
+	return NewController(dev, DefaultConfig())
+}
+
+func TestAddrMapRoundTrip(t *testing.T) {
+	m := NewAddrMap(dram.DDR4_2400().Geometry)
+	f := func(addr uint64) bool {
+		addr &= 1<<33 - 1 // keep rows in range
+		return m.Encode(m.Decode(addr)) == addr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddrMapFieldOrder(t *testing.T) {
+	m := NewAddrMap(dram.DDR4_2400().Geometry)
+	// Consecutive cachelines must walk columns of one row (streaming scans
+	// stay row-buffer resident).
+	c0 := m.Decode(0)
+	c1 := m.Decode(64)
+	if c1.Col != c0.Col+1 || c1.Row != c0.Row || c1.Bank != c0.Bank || c1.Rank != c0.Rank {
+		t.Fatalf("line+1 moved to %+v from %+v", c1, c0)
+	}
+	// Crossing a full row of columns advances the bank field (cl below bk).
+	rowSpan := uint64(64 * 128)
+	cr := m.Decode(rowSpan)
+	if cr.Col != 0 || (cr.Group == 0 && cr.Bank == 0) {
+		t.Fatalf("row-span cross: %+v", cr)
+	}
+}
+
+func TestAddrMapRejectsNonPowerOfTwo(t *testing.T) {
+	g := dram.DDR4_2400().Geometry
+	g.Ranks = 3
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two geometry accepted")
+		}
+	}()
+	NewAddrMap(g)
+}
+
+func TestLineAddr(t *testing.T) {
+	m := NewAddrMap(dram.DDR4_2400().Geometry)
+	if m.LineAddr(0x12345) != 0x12340 {
+		t.Fatalf("line addr = %x", m.LineAddr(0x12345))
+	}
+	if m.LineBytes() != 64 {
+		t.Fatal("line bytes")
+	}
+}
+
+func TestStrideRemapInvolution(t *testing.T) {
+	// For all paper configurations sector-index and line-index fields have
+	// equal width (G = LineBytes/Reach), making the remap an involution.
+	for _, cfg := range []StrideRemap{
+		{SectorBytes: 16, Reach: 4, LineBytes: 64},
+		{SectorBytes: 8, Reach: 8, LineBytes: 64},
+		{SectorBytes: 32, Reach: 2, LineBytes: 64},
+	} {
+		if !cfg.Valid() {
+			t.Fatalf("config %+v invalid", cfg)
+		}
+		f := func(addr uint64) bool {
+			return cfg.Remap(cfg.Remap(addr)) == addr
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%+v: %v", cfg, err)
+		}
+	}
+}
+
+func TestStrideRemapGathersReach(t *testing.T) {
+	// The defining property (Fig. 10): after remapping, the same-offset
+	// sectors of the N group-aligned cachelines occupy N consecutive
+	// sector slots of one line — i.e. one strided burst's worth.
+	cfg := StrideRemap{SectorBytes: 16, Reach: 4, LineBytes: 64}
+	base := uint64(0x100000)
+	sector := 2 // pick sector 2 of each line
+	var remapped []uint64
+	for line := 0; line < cfg.Reach; line++ {
+		va := base + uint64(line*cfg.LineBytes+sector*cfg.SectorBytes)
+		remapped = append(remapped, cfg.Remap(va))
+	}
+	lineOf := func(a uint64) uint64 { return a / uint64(cfg.LineBytes) }
+	for i := 1; i < len(remapped); i++ {
+		if lineOf(remapped[i]) != lineOf(remapped[0]) {
+			t.Fatalf("remapped sectors span lines: %x vs %x", remapped[i], remapped[0])
+		}
+		if remapped[i] != remapped[i-1]+uint64(cfg.SectorBytes) {
+			t.Fatalf("remapped sectors not consecutive: %x after %x", remapped[i], remapped[i-1])
+		}
+	}
+}
+
+func TestStrideRemapBijectionOnPage(t *testing.T) {
+	cfg := StrideRemap{SectorBytes: 16, Reach: 4, LineBytes: 64}
+	seen := make(map[uint64]bool, 4096)
+	for a := uint64(0); a < 4096; a++ {
+		r := cfg.Remap(a)
+		if r >= 4096 {
+			t.Fatalf("remap leaves the page: %x -> %x", a, r)
+		}
+		if seen[r] {
+			t.Fatalf("remap collision at %x", r)
+		}
+		seen[r] = true
+	}
+}
+
+func TestControllerSingleRead(t *testing.T) {
+	c := newTestController()
+	c.Enqueue(Request{ID: 1, Addr: 0x1000, Arrival: 0})
+	comp, ok := c.ServiceOne()
+	if !ok {
+		t.Fatal("no completion")
+	}
+	cfg := dram.DDR4_2400()
+	// Cold access: ACT at ~1, RD at ACT+tRCD, data CL later.
+	minEnd := dram.Cycle(cfg.Timing.TRCD + cfg.Timing.CL + cfg.Timing.TBL)
+	if comp.DataEnd < minEnd {
+		t.Fatalf("cold read finished at %d, faster than tRCD+CL+tBL=%d", comp.DataEnd, minEnd)
+	}
+	if !comp.RowEmpty || comp.RowHit {
+		t.Fatalf("cold access misclassified: %+v", comp)
+	}
+}
+
+func TestControllerRowHitFasterThanConflict(t *testing.T) {
+	// Same row twice -> hit; different row same bank -> precharge penalty.
+	cHit := newTestController()
+	cHit.Enqueue(Request{ID: 1, Addr: 0, Arrival: 0})
+	cHit.Enqueue(Request{ID: 2, Addr: 64, Arrival: 0})
+	hits := cHit.Drain()
+	hitGap := hits[1].DataEnd - hits[0].DataEnd
+
+	cMiss := newTestController()
+	rowSpan := uint64(64 * 128 * 32) // jump a full row within the same bank (past col+bank+rank bits? keep same bank: row bit stride)
+	// Row field starts above rank; row+1 with identical bank/rank:
+	m := cMiss.AddrMap()
+	co := m.Decode(0)
+	co.Row = 1
+	addr2 := m.Encode(co)
+	cMiss.Enqueue(Request{ID: 1, Addr: 0, Arrival: 0})
+	cMiss.Enqueue(Request{ID: 2, Addr: addr2, Arrival: 0})
+	misses := cMiss.Drain()
+	missGap := misses[1].DataEnd - misses[0].DataEnd
+
+	if hitGap >= missGap {
+		t.Fatalf("row hit gap %d not faster than conflict gap %d", hitGap, missGap)
+	}
+	if cHit.Stats.RowHits != 1 || cMiss.Stats.RowMisses != 1 {
+		t.Fatalf("hit/miss accounting: %+v vs %+v", cHit.Stats, cMiss.Stats)
+	}
+	_ = rowSpan
+}
+
+func TestFRFCFSPrefersRowHit(t *testing.T) {
+	c := newTestController()
+	m := c.AddrMap()
+	// Open row 0 of bank (0,0,0) with request A.
+	c.Enqueue(Request{ID: 1, Addr: 0, Arrival: 0})
+	if _, ok := c.ServiceOne(); !ok {
+		t.Fatal("A not serviced")
+	}
+	// B conflicts (row 1 same bank), C hits (row 0 col 5). B is older.
+	co := m.Decode(0)
+	co.Row = 1
+	bAddr := m.Encode(co)
+	co.Row = 0
+	co.Col = 5
+	cAddr := m.Encode(co)
+	c.Enqueue(Request{ID: 2, Addr: bAddr, Arrival: 1})
+	c.Enqueue(Request{ID: 3, Addr: cAddr, Arrival: 2})
+	first, _ := c.ServiceOne()
+	if first.Req.ID != 3 {
+		t.Fatalf("FR-FCFS serviced ID %d first, want the row hit (3)", first.Req.ID)
+	}
+	second, _ := c.ServiceOne()
+	if second.Req.ID != 2 {
+		t.Fatalf("conflict request starved")
+	}
+}
+
+func TestWriteQueueDrainHysteresis(t *testing.T) {
+	c := newTestController()
+	// Fill writes beyond the high watermark plus a single read.
+	for i := 0; i < 25; i++ {
+		c.Enqueue(Request{ID: uint64(i), Addr: uint64(i) * 64, IsWrite: true, Arrival: 0})
+	}
+	c.Enqueue(Request{ID: 100, Addr: 0x100000, Arrival: 0})
+	first, _ := c.ServiceOne()
+	if !first.Req.IsWrite {
+		t.Fatal("drain mode should prioritize writes above high watermark")
+	}
+	// Drain proceeds past the read until low watermark.
+	var sawRead bool
+	writesBeforeRead := 1
+	for {
+		comp, ok := c.ServiceOne()
+		if !ok {
+			break
+		}
+		if comp.Req.IsWrite && !sawRead {
+			writesBeforeRead++
+		}
+		if !comp.Req.IsWrite {
+			sawRead = true
+		}
+	}
+	if !sawRead {
+		t.Fatal("read never serviced")
+	}
+	if writesBeforeRead < 25-8 {
+		t.Fatalf("drain stopped after %d writes, want >= %d (down to low watermark)", writesBeforeRead, 25-8)
+	}
+}
+
+func TestControllerRefreshIssued(t *testing.T) {
+	c := newTestController()
+	cfg := dram.DDR4_2400()
+	// A request arriving after tREFI forces a refresh first.
+	c.Enqueue(Request{ID: 1, Addr: 0, Arrival: dram.Cycle(cfg.Timing.TREFI + 10)})
+	c.ServiceOne()
+	if c.Stats.Refreshes == 0 {
+		t.Fatal("no refresh issued despite deadline")
+	}
+}
+
+func TestControllerStrideModeSwitchCounted(t *testing.T) {
+	c := newTestController()
+	c.Enqueue(Request{ID: 1, Addr: 0, Arrival: 0})
+	c.Enqueue(Request{ID: 2, Addr: 64, Stride: true, Lane: 2, Arrival: 0})
+	c.Enqueue(Request{ID: 3, Addr: 128, Arrival: 0})
+	c.Drain()
+	if c.Stats.ModeSwitches < 2 {
+		t.Fatalf("mode switches = %d, want >= 2 (into and out of stride)", c.Stats.ModeSwitches)
+	}
+	if c.Stats.StrideAccesses != 1 {
+		t.Fatalf("stride accesses = %d", c.Stats.StrideAccesses)
+	}
+}
+
+func TestControllerAuditCleanUnderRandomLoad(t *testing.T) {
+	dev := dram.NewDevice(dram.DDR4_2400())
+	c := NewController(dev, DefaultConfig())
+	c.Audit = dram.NewAuditor(dram.DDR4_2400())
+	rng := rand.New(rand.NewSource(17))
+	var arrival dram.Cycle
+	for i := 0; i < 2000; i++ {
+		r := Request{
+			ID:      uint64(i),
+			Addr:    uint64(rng.Intn(1 << 28)),
+			IsWrite: rng.Intn(4) == 0,
+			Arrival: arrival,
+		}
+		if rng.Intn(5) == 0 {
+			r.Stride = true
+			r.Lane = rng.Intn(4)
+		}
+		arrival += dram.Cycle(rng.Intn(20))
+		for !c.CanAccept(r.IsWrite) {
+			if _, ok := c.ServiceOne(); !ok {
+				t.Fatal("queue full but nothing to service")
+			}
+		}
+		c.Enqueue(r)
+		if rng.Intn(3) == 0 {
+			c.ServiceOne()
+		}
+	}
+	c.Drain()
+	if !c.Audit.Ok() {
+		t.Fatalf("protocol violations under random load; first: %s", c.Audit.Violations[0])
+	}
+	if c.Stats.Reads+c.Stats.Writes != 2000 {
+		t.Fatalf("serviced %d, want 2000", c.Stats.Reads+c.Stats.Writes)
+	}
+}
+
+func TestControllerConfigValidation(t *testing.T) {
+	dev := dram.NewDevice(dram.DDR4_2400())
+	bad := []Config{
+		{WriteQueueCap: 0, WriteDrainHigh: 0, WriteDrainLow: 0, ReadQueueCap: 4},
+		{WriteQueueCap: 8, WriteDrainHigh: 16, WriteDrainLow: 2, ReadQueueCap: 4},
+		{WriteQueueCap: 8, WriteDrainHigh: 6, WriteDrainLow: 7, ReadQueueCap: 4},
+		{WriteQueueCap: 8, WriteDrainHigh: 6, WriteDrainLow: 2, ReadQueueCap: 0},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad config %d accepted", i)
+				}
+			}()
+			NewController(dev, cfg)
+		}()
+	}
+}
+
+func TestServiceOneEmptyQueue(t *testing.T) {
+	c := newTestController()
+	if _, ok := c.ServiceOne(); ok {
+		t.Fatal("serviced from empty queue")
+	}
+}
+
+func TestReadLatencyAccounting(t *testing.T) {
+	c := newTestController()
+	c.Enqueue(Request{ID: 1, Addr: 0, Arrival: 0})
+	comp, _ := c.ServiceOne()
+	if c.Stats.TotalReadLatency != uint64(comp.DataEnd) {
+		t.Fatalf("latency %d, want %d", c.Stats.TotalReadLatency, comp.DataEnd)
+	}
+}
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	for _, il := range []Interleave{ColumnsLow, BanksLow} {
+		m := NewAddrMapInterleave(dram.DDR4_2400().Geometry, il)
+		f := func(addr uint64) bool {
+			addr &= 1<<33 - 1
+			return m.Encode(m.Decode(addr)) == addr
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%v: %v", il, err)
+		}
+	}
+}
+
+func TestBanksLowRotatesBanks(t *testing.T) {
+	m := NewAddrMapInterleave(dram.DDR4_2400().Geometry, BanksLow)
+	c0 := m.Decode(0)
+	c1 := m.Decode(64)
+	if c0.Group == c1.Group && c0.Bank == c1.Bank && c0.Rank == c1.Rank {
+		t.Fatal("banks-low interleave should rotate banks per line")
+	}
+	if c1.Row != c0.Row {
+		t.Fatal("adjacent lines should stay in the same row index")
+	}
+	if ColumnsLow.String() != "columns-low" || BanksLow.String() != "banks-low" {
+		t.Fatal("interleave names")
+	}
+}
+
+func TestInterleaveChangesBankConflictBehavior(t *testing.T) {
+	// A sequential line scan: columns-low keeps one bank busy (row hits),
+	// banks-low spreads it (row empties early, more ACT work but more
+	// parallelism). Both must stay protocol-clean.
+	for _, il := range []Interleave{ColumnsLow, BanksLow} {
+		dev := dram.NewDevice(dram.DDR4_2400())
+		cfg := DefaultConfig()
+		cfg.Interleave = il
+		c := NewController(dev, cfg)
+		c.Audit = dram.NewAuditor(dram.DDR4_2400())
+		for i := 0; i < 256; i++ {
+			c.Enqueue(Request{ID: uint64(i), Addr: uint64(i) * 64, Arrival: dram.Cycle(i)})
+			if i%16 == 15 {
+				for c.Pending() > 8 {
+					c.ServiceOne()
+				}
+			}
+		}
+		c.Drain()
+		if !c.Audit.Ok() {
+			t.Fatalf("%v: %s", il, c.Audit.Violations[0])
+		}
+		acts := dev.Stats.Acts
+		if il == ColumnsLow && acts > 4 {
+			t.Fatalf("columns-low sequential scan opened %d rows, want ~2", acts)
+		}
+		if il == BanksLow && acts < 16 {
+			t.Fatalf("banks-low scan should spread across banks, opened only %d rows", acts)
+		}
+	}
+}
+
+func TestLatencyHistogram(t *testing.T) {
+	c := newTestController()
+	c.LatencyHist = stats.NewHistogram(20, 50, 100, 500)
+	for i := 0; i < 100; i++ {
+		c.Enqueue(Request{ID: uint64(i), Addr: uint64(i) * 4096, Arrival: dram.Cycle(i * 2)})
+		if i%8 == 7 {
+			for c.Pending() > 4 {
+				c.ServiceOne()
+			}
+		}
+	}
+	c.Drain()
+	if c.LatencyHist.Total() != 100 {
+		t.Fatalf("histogram saw %d reads", c.LatencyHist.Total())
+	}
+	if c.LatencyHist.Mean() <= 0 || c.LatencyHist.Quantile(0.99) < c.LatencyHist.Quantile(0.5) {
+		t.Fatal("histogram statistics degenerate")
+	}
+}
+
+func TestStarvationGuard(t *testing.T) {
+	// Invariant 8: a conflicting request must not wait unboundedly behind a
+	// stream of row hits.
+	c := newTestController()
+	m := c.AddrMap()
+	// Open row 0 of bank 0.
+	c.Enqueue(Request{ID: 0, Addr: 0, Arrival: 0})
+	c.ServiceOne()
+	// The victim: row 1 of the same bank, enqueued early.
+	co := m.Decode(0)
+	co.Row = 1
+	victim := m.Encode(co)
+	c.Enqueue(Request{ID: 1, Addr: victim, Arrival: 1})
+	// Keep feeding row hits long past the starvation limit.
+	var servicedVictimAt int
+	for i := 2; i < 3000; i++ {
+		co.Row = 0
+		co.Col = i % 32
+		c.Enqueue(Request{ID: uint64(i), Addr: m.Encode(co), Arrival: c.Now()})
+		comp, _ := c.ServiceOne()
+		if comp.Req.ID == 1 {
+			servicedVictimAt = i
+			break
+		}
+	}
+	if servicedVictimAt == 0 {
+		t.Fatal("victim starved for 3000 services")
+	}
+	if c.Stats.StarvationBreaks == 0 {
+		t.Fatal("starvation break not counted")
+	}
+	// And the victim waited at most ~limit plus scheduling slack.
+	if c.Now() > starvationLimit+1024 {
+		t.Fatalf("victim serviced only at t=%d", c.Now())
+	}
+}

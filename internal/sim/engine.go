@@ -1,0 +1,369 @@
+package sim
+
+import (
+	"math/rand"
+
+	"sam/internal/cache"
+	"sam/internal/design"
+	"sam/internal/dram"
+	"sam/internal/ecc"
+	"sam/internal/mc"
+	"sam/internal/power"
+	"sam/internal/trace"
+)
+
+// engine drives one workload's transactions through the cache and memory
+// system while advancing a simple-core clock: compute costs and cache-hit
+// latencies move the clock directly, and a bounded window of outstanding
+// read misses provides memory back-pressure, so steady-state throughput is
+// governed by whichever of compute or memory is slower — the behaviour the
+// paper's simple timing cores exhibit on these streaming workloads.
+type engine struct {
+	sys *System
+
+	clock    dram.Cycle
+	frac     float64 // sub-cycle compute accumulator
+	busMHz   float64
+	nextID   uint64
+	inflight int
+	nextChan int // round-robin service pointer across channels
+
+	// Run-relative accounting: systems stay warm across queries (caches,
+	// open rows, the controllers' timelines), so each run measures deltas
+	// from these snapshots.
+	t0      dram.Cycle
+	devBase []dram.DeviceStats
+	ctlBase []mc.Stats
+
+	strideFetches uint64 // for the embedded-ECC read period
+	regularFills  uint64 // for embedded-ECC overhead on regular fills
+
+	// Fault-injection state.
+	faultCodec    *ecc.Chipkill
+	faultRng      *rand.Rand
+	faultVerified uint64
+	corrected     uint64
+	uncorrectable uint64
+}
+
+func newEngine(s *System) *engine {
+	e := &engine{sys: s, busMHz: s.Design.Mem.ClockMHz}
+	if s.Faults != nil {
+		e.faultCodec = ecc.NewChipkill(s.Design.Chipkill)
+		e.faultRng = rand.New(rand.NewSource(int64(s.Faults.Seed) + 1))
+	}
+	for ch := 0; ch < s.Channels(); ch++ {
+		cs := s.controllers[ch].Stats
+		if cs.BusCycleOfLastAccess > e.t0 {
+			e.t0 = cs.BusCycleOfLastAccess
+		}
+		e.devBase = append(e.devBase, s.devices[ch].Stats)
+		e.ctlBase = append(e.ctlBase, cs)
+	}
+	return e
+}
+
+// spend advances the clock by a CPU-cycle cost.
+func (e *engine) spend(cpuCycles float64) {
+	e.frac += e.sys.CPU.BusCyclesPer(cpuCycles, e.busMHz)
+	if e.frac >= 1 {
+		whole := int64(e.frac)
+		e.clock += whole
+		e.frac -= float64(whole)
+	}
+}
+
+// serviceOne retires one memory request from some channel (round-robin).
+// The core clock is NOT lifted to the completion time: compute and memory
+// service overlap fully across the pipelined cores, so the run's length is
+// max(compute time, memory time), taken in finish(). Each controller's own
+// timeline paces its channel.
+func (e *engine) serviceOne() bool {
+	n := e.sys.Channels()
+	for i := 0; i < n; i++ {
+		ctrl := e.sys.controllers[(e.nextChan+i)%n]
+		comp, ok := ctrl.ServiceOne()
+		if !ok {
+			continue
+		}
+		e.nextChan = (e.nextChan + i + 1) % n
+		if !comp.Req.IsWrite {
+			e.inflight--
+			if e.sys.Faults != nil {
+				e.injectFault()
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// injectFault applies the dead-chip model to one read burst. The first
+// bursts exercise the real Reed-Solomon path; the rest count.
+func (e *engine) injectFault() {
+	if !e.sys.Design.HasECC {
+		e.uncorrectable++
+		return
+	}
+	if e.faultVerified < faultVerifyBursts {
+		e.faultVerified++
+		data := make([]byte, e.faultCodec.DataBytes())
+		e.faultRng.Read(data)
+		burst := e.faultCodec.Encode(data)
+		burst.CorruptChip(e.sys.Faults.DeadChip%e.faultCodec.Chips(), byte(1+e.faultRng.Intn(255)))
+		got, n, err := e.faultCodec.Decode(burst)
+		if err != nil || n == 0 || len(got) != len(data) {
+			e.uncorrectable++
+			return
+		}
+		for i := range got {
+			if got[i] != data[i] {
+				e.uncorrectable++
+				return
+			}
+		}
+	}
+	e.corrected++
+}
+
+// enqueue pushes one request to its channel, applying window and queue
+// back-pressure.
+func (e *engine) enqueue(r mc.Request) {
+	ctrl := e.sys.controllers[e.sys.channelOf(r.Addr)]
+	for !ctrl.CanAccept(r.IsWrite) {
+		if !e.serviceOne() {
+			panic("sim: controller full but idle")
+		}
+	}
+	if !r.IsWrite {
+		for e.inflight >= e.sys.CPU.WindowSize() {
+			if !e.serviceOne() {
+				panic("sim: window full but controller idle")
+			}
+		}
+		e.inflight++
+	}
+	r.ID = e.nextID
+	e.nextID++
+	r.Arrival = e.t0 + e.clock
+	if e.sys.TraceSink != nil {
+		e.sys.TraceSink.Add(trace.FromRequest(r))
+	}
+	ctrl.Enqueue(r)
+}
+
+// memOpRequest converts a cache MemOp (line fill or writeback) into a
+// controller request. Strided writebacks keep their shape (sstore).
+func (e *engine) memOpRequest(op cache.MemOp, lane int, gang bool) mc.Request {
+	return mc.Request{
+		Addr:    op.Addr,
+		IsWrite: op.IsWrite,
+		Stride:  op.Sectored && e.sys.Design.SupportsStride(),
+		Lane:    lane,
+		Gang:    gang && op.Sectored,
+	}
+}
+
+// do executes one transaction: cache access, miss handling (regular or
+// strided group fetch), and writeback traffic.
+//
+// Latency handling: the core is out-of-order and the scans touch
+// independent records, so access latency overlaps across the miss window;
+// only a fraction of it (CPU.LatencyOverlap) is charged to throughput. The
+// rest is absorbed by window back-pressure — the clock catches up to
+// completions only when the window is full.
+func (e *engine) do(t design.Txn) {
+	res := e.sys.Hierarchy.Access(t.Addr, t.Size, t.Write, t.Sectored)
+	e.spend(e.sys.CPU.ComputePerField + float64(res.Latency)*e.sys.CPU.LatencyOverlap)
+	if res.HitLevel > 0 {
+		return
+	}
+	gang := t.Group != nil && t.Group.Gang
+
+	if t.Group == nil {
+		// Plain line fill (plus any writebacks the fill displaced).
+		for _, op := range res.MemOps {
+			e.enqueue(e.memOpRequest(op, 0, false))
+			if !op.IsWrite {
+				e.regularFills++
+				// Embedded ECC displaces data in every page, so regular
+				// fills periodically drag their check-bit line along.
+				if p := e.sys.Design.ECCRegularPeriod; p > 0 && e.regularFills%uint64(p) == 0 {
+					e.enqueue(mc.Request{Addr: op.Addr + uint64(e.sys.Design.Mem.Geometry.LineBytes)})
+				}
+			}
+		}
+		return
+	}
+
+	// Strided group fetch: replace the access's own fill request with the
+	// group request(s); keep writeback ops.
+	for _, op := range res.MemOps {
+		if op.IsWrite {
+			e.enqueue(e.memOpRequest(op, t.Group.Lane, gang))
+		}
+	}
+	if e.sys.Design.NoCriticalWordFirst {
+		// The requested word lands at the end of the burst: the extra
+		// serialization latency is charged like any other access latency.
+		extraCPU := float64(e.sys.Design.Mem.Timing.TBL) * e.sys.CPU.ClockGHz * 1e3 / e.busMHz
+		e.spend(extraCPU * e.sys.CPU.LatencyOverlap)
+	}
+	for b := 0; b < t.Group.Bursts; b++ {
+		e.enqueue(mc.Request{
+			Addr:   t.Group.ReqAddr + uint64(b*e.sys.Design.Mem.Geometry.LineBytes),
+			Stride: true,
+			Lane:   t.Group.Lane,
+			Gang:   gang,
+		})
+	}
+	e.strideFetches++
+	// Embedded-ECC companion read (GS-DRAM-ecc).
+	if p := e.sys.Design.ECCReadPeriod; p > 0 && e.strideFetches%uint64(p) == 0 {
+		e.enqueue(mc.Request{Addr: t.Group.ReqAddr + uint64(e.sys.Design.Mem.Geometry.LineBytes), Stride: false})
+	}
+	// Embedded-ECC write read-modify-write, once per ECC line's worth of
+	// strided write fetches.
+	if p := e.sys.Design.ECCReadPeriod; t.Write && e.sys.Design.ECCWriteRMW && p > 0 && e.strideFetches%uint64(p) == 0 {
+		base := t.Group.ReqAddr + 2*uint64(e.sys.Design.Mem.Geometry.LineBytes)
+		e.enqueue(mc.Request{Addr: base})
+		e.enqueue(mc.Request{Addr: base, IsWrite: true})
+	}
+	// Sibling fills: the burst delivered the same sector of every line in
+	// the group.
+	for _, f := range t.Group.Fills {
+		for _, op := range e.sys.Hierarchy.FillLine(f.LineAddr, f.Sectors, true) {
+			e.enqueue(e.memOpRequest(op, t.Group.Lane, gang))
+		}
+	}
+}
+
+// doAll executes a transaction batch.
+func (e *engine) doAll(ts []design.Txn) {
+	for _, t := range ts {
+		e.do(t)
+	}
+}
+
+// finish flushes dirty cache state, drains the controller, and builds the
+// run statistics.
+func (e *engine) finish() RunStats {
+	for _, op := range e.sys.Hierarchy.FlushDirty() {
+		e.enqueue(e.memOpRequest(op, 0, e.sys.Design.Gran.Gang))
+	}
+	for e.serviceOne() {
+	}
+	end := e.t0 + e.clock
+	var dev dram.DeviceStats
+	var ctl mc.Stats
+	for ch := 0; ch < e.sys.Channels(); ch++ {
+		cs := e.sys.controllers[ch].Stats
+		if cs.BusCycleOfLastAccess > end {
+			end = cs.BusCycleOfLastAccess
+		}
+		addDeviceStats(&dev, subDeviceStats(e.sys.devices[ch].Stats, e.devBase[ch]))
+		addControllerStats(&ctl, subControllerStats(cs, e.ctlBase[ch]))
+	}
+	end -= e.t0
+	act := power.Activity{
+		Acts:         dev.Acts,
+		Reads:        dev.Reads,
+		Writes:       dev.Writes,
+		StrideReads:  dev.StrideReads,
+		StrideWrites: dev.StrideWrites,
+		Refreshes:    dev.Refs,
+		// Background power burns in every channel's rank for the whole run.
+		Cycles: uint64(end) * uint64(e.sys.Channels()),
+	}
+	energy := e.sys.Design.Power.Energy(act)
+	stats := RunStats{
+		Cycles:      end,
+		MemRequests: ctl.Reads + ctl.Writes,
+		Energy:      energy,
+		PowerMW:     e.sys.Design.Power.AveragePowerMW(energy, uint64(end)),
+		Device:      dev,
+		Controller:  ctl,
+	}
+	if hits, misses := ctl.RowHits, ctl.RowMisses+ctl.RowEmpties; hits+misses > 0 {
+		stats.RowHitRate = float64(hits) / float64(hits+misses)
+	}
+	stats.CorrectedBursts = e.corrected
+	stats.UncorrectableBursts = e.uncorrectable
+	return stats
+}
+
+// subDeviceStats returns the per-run delta of device activity.
+func subDeviceStats(cur, base dram.DeviceStats) dram.DeviceStats {
+	return dram.DeviceStats{
+		Acts:                 cur.Acts - base.Acts,
+		Pres:                 cur.Pres - base.Pres,
+		Refs:                 cur.Refs - base.Refs,
+		Reads:                cur.Reads - base.Reads,
+		Writes:               cur.Writes - base.Writes,
+		StrideReads:          cur.StrideReads - base.StrideReads,
+		StrideWrites:         cur.StrideWrites - base.StrideWrites,
+		GangedBursts:         cur.GangedBursts - base.GangedBursts,
+		ModeSwitches:         cur.ModeSwitches - base.ModeSwitches,
+		BusBusyCycles:        cur.BusBusyCycles - base.BusBusyCycles,
+		ColumnWordsFetched:   cur.ColumnWordsFetched - base.ColumnWordsFetched,
+		ColumnWordsRequested: cur.ColumnWordsRequested - base.ColumnWordsRequested,
+	}
+}
+
+// subControllerStats returns the per-run delta of controller activity.
+func subControllerStats(cur, base mc.Stats) mc.Stats {
+	return mc.Stats{
+		Reads:                cur.Reads - base.Reads,
+		Writes:               cur.Writes - base.Writes,
+		RowHits:              cur.RowHits - base.RowHits,
+		RowMisses:            cur.RowMisses - base.RowMisses,
+		RowEmpties:           cur.RowEmpties - base.RowEmpties,
+		Refreshes:            cur.Refreshes - base.Refreshes,
+		WriteDrains:          cur.WriteDrains - base.WriteDrains,
+		TotalReadLatency:     cur.TotalReadLatency - base.TotalReadLatency,
+		MaxQueueOccupancy:    cur.MaxQueueOccupancy,
+		IssuedCommands:       cur.IssuedCommands - base.IssuedCommands,
+		StrideAccesses:       cur.StrideAccesses - base.StrideAccesses,
+		ModeSwitches:         cur.ModeSwitches - base.ModeSwitches,
+		StarvationBreaks:     cur.StarvationBreaks - base.StarvationBreaks,
+		BusCycleOfLastAccess: cur.BusCycleOfLastAccess,
+	}
+}
+
+// addDeviceStats accumulates per-channel device activity.
+func addDeviceStats(dst *dram.DeviceStats, s dram.DeviceStats) {
+	dst.Acts += s.Acts
+	dst.Pres += s.Pres
+	dst.Refs += s.Refs
+	dst.Reads += s.Reads
+	dst.Writes += s.Writes
+	dst.StrideReads += s.StrideReads
+	dst.StrideWrites += s.StrideWrites
+	dst.GangedBursts += s.GangedBursts
+	dst.ModeSwitches += s.ModeSwitches
+	dst.BusBusyCycles += s.BusBusyCycles
+	dst.ColumnWordsFetched += s.ColumnWordsFetched
+	dst.ColumnWordsRequested += s.ColumnWordsRequested
+}
+
+// addControllerStats accumulates per-channel controller activity.
+func addControllerStats(dst *mc.Stats, s mc.Stats) {
+	dst.Reads += s.Reads
+	dst.Writes += s.Writes
+	dst.RowHits += s.RowHits
+	dst.RowMisses += s.RowMisses
+	dst.RowEmpties += s.RowEmpties
+	dst.Refreshes += s.Refreshes
+	dst.WriteDrains += s.WriteDrains
+	dst.TotalReadLatency += s.TotalReadLatency
+	dst.IssuedCommands += s.IssuedCommands
+	dst.StrideAccesses += s.StrideAccesses
+	dst.ModeSwitches += s.ModeSwitches
+	dst.StarvationBreaks += s.StarvationBreaks
+	if s.MaxQueueOccupancy > dst.MaxQueueOccupancy {
+		dst.MaxQueueOccupancy = s.MaxQueueOccupancy
+	}
+	if s.BusCycleOfLastAccess > dst.BusCycleOfLastAccess {
+		dst.BusCycleOfLastAccess = s.BusCycleOfLastAccess
+	}
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"testing"
+
+	"sam/internal/cache"
+	"sam/internal/design"
+	"sam/internal/imdb"
+)
+
+func engineFor(kind design.Kind) *engine {
+	d := design.New(kind, design.Options{})
+	s := NewSystem(d)
+	s.AddTable(imdb.NewTable(imdb.Ta(64), 1), false)
+	return newEngine(s)
+}
+
+func TestSpendAccumulatesFractions(t *testing.T) {
+	e := engineFor(design.Baseline)
+	// 1 CPU cycle = 0.3/4-core = 0.075 bus cycles; 40 of them = 3 cycles.
+	for i := 0; i < 40; i++ {
+		e.spend(1)
+	}
+	total := float64(e.clock) + e.frac
+	if total < 2.999 || total > 3.001 {
+		t.Fatalf("clock+frac = %v after 40x1 CPU cycles, want ~3", total)
+	}
+	if e.frac < 0 || e.frac >= 1 {
+		t.Fatalf("fraction accumulator out of range: %v", e.frac)
+	}
+}
+
+func TestMemOpRequestMapping(t *testing.T) {
+	e := engineFor(design.SAMEn)
+	// Sectored op on a strided design becomes a strided request.
+	r := e.memOpRequest(cache.MemOp{Addr: 0x40, IsWrite: true, Sectored: true}, 2, true)
+	if !r.Stride || !r.Gang || r.Lane != 2 || !r.IsWrite {
+		t.Fatalf("strided writeback mapping: %+v", r)
+	}
+	// Non-sectored op stays regular even with gang requested.
+	r = e.memOpRequest(cache.MemOp{Addr: 0x40}, 2, true)
+	if r.Stride || r.Gang {
+		t.Fatalf("regular op mapped strided: %+v", r)
+	}
+	// Baseline designs never stride.
+	be := engineFor(design.Baseline)
+	r = be.memOpRequest(cache.MemOp{Addr: 0x40, Sectored: true}, 0, false)
+	if r.Stride {
+		t.Fatal("baseline op mapped strided")
+	}
+}
+
+func TestEngineRunRelativeBase(t *testing.T) {
+	d := design.New(design.Baseline, design.Options{})
+	s := NewSystem(d)
+	s.AddTable(imdb.NewTable(imdb.Ta(64), 1), false)
+	// Drive some traffic, then a fresh engine must snapshot a nonzero t0.
+	if _, err := s.RunQuery("SELECT f1 FROM Ta WHERE f0 < 99", nil); err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(s)
+	if e.t0 == 0 {
+		t.Fatal("second engine did not snapshot the warm timeline")
+	}
+	if e.devBase[0].Reads == 0 {
+		t.Fatal("device stats baseline not captured")
+	}
+}
+
+func TestInjectFaultPolicies(t *testing.T) {
+	d := design.New(design.SAMEn, design.Options{})
+	s := NewSystem(d)
+	s.Faults = &FaultModel{DeadChip: 3, Seed: 9}
+	s.AddTable(imdb.NewTable(imdb.Ta(64), 1), false)
+	e := newEngine(s)
+	for i := 0; i < faultVerifyBursts+10; i++ {
+		e.injectFault()
+	}
+	if e.corrected != faultVerifyBursts+10 || e.uncorrectable != 0 {
+		t.Fatalf("chipkill fault path: corrected=%d uncorrectable=%d", e.corrected, e.uncorrectable)
+	}
+	// GS-DRAM (no ECC): everything is uncorrectable.
+	g := design.New(design.GSDRAM, design.Options{})
+	gs := NewSystem(g)
+	gs.Faults = &FaultModel{DeadChip: 3, Seed: 9}
+	gs.AddTable(imdb.NewTable(imdb.Ta(64), 2), false)
+	ge := newEngine(gs)
+	ge.injectFault()
+	if ge.uncorrectable != 1 || ge.corrected != 0 {
+		t.Fatalf("no-ECC fault path: %d/%d", ge.corrected, ge.uncorrectable)
+	}
+}
+
+func TestStatsDeltaHelpers(t *testing.T) {
+	a := engineFor(design.Baseline)
+	cur := a.sys.devices[0].Stats
+	cur.Reads = 10
+	cur.Acts = 4
+	base := cur
+	base.Reads = 3
+	base.Acts = 1
+	d := subDeviceStats(cur, base)
+	if d.Reads != 7 || d.Acts != 3 {
+		t.Fatalf("device delta: %+v", d)
+	}
+	var sum = d
+	addDeviceStats(&sum, d)
+	if sum.Reads != 14 {
+		t.Fatalf("device sum: %+v", sum)
+	}
+}

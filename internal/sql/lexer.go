@@ -1,0 +1,81 @@
+// Package sql implements the query dialect of the paper's benchmark
+// (Table 3) plus the aggregates an analytical user expects: single-table
+// scans, SUM/AVG/COUNT/MIN/MAX aggregates, GROUP BY, field-arithmetic
+// projections, conjunctive predicates, two-table joins, UPDATE, INSERT and
+// LIMIT. Queries parse to an AST and compile to executable plans over imdb
+// tables; the harness embeds the paper's query text verbatim, so the
+// workloads are derived from the SQL rather than hand-coded.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer output.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokKeyword
+	TokSymbol
+)
+
+// Token is one lexeme.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true,
+	"UPDATE": true, "SET": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "LIMIT": true, "SUM": true, "AVG": true,
+	"COUNT": true, "MIN": true, "MAX": true, "GROUP": true, "BY": true,
+}
+
+// Lex splits src into tokens. It returns an error on any character outside
+// the dialect.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	for i < len(src) {
+		c := rune(src[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == ',' || c == '(' || c == ')' || c == '*' || c == '+' ||
+			c == '>' || c == '<' || c == '=' || c == '.':
+			toks = append(toks, Token{TokSymbol, string(c), i})
+			i++
+		case unicode.IsDigit(c):
+			j := i
+			for j < len(src) && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, Token{TokNumber, src[i:j], i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			word := src[i:j]
+			if keywords[strings.ToUpper(word)] {
+				toks = append(toks, Token{TokKeyword, strings.ToUpper(word), i})
+			} else {
+				toks = append(toks, Token{TokIdent, word, i})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", len(src)})
+	return toks, nil
+}

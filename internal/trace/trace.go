@@ -1,0 +1,166 @@
+// Package trace records and replays memory access traces: the simulator
+// can dump the request stream a workload produced, and tests/tools can
+// replay a trace against a controller — useful for determinism checks
+// (identical seeds must produce identical traces) and for driving the
+// memory system without the query layer.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"sam/internal/dram"
+	"sam/internal/mc"
+)
+
+// Record is one traced request.
+type Record struct {
+	Addr    uint64
+	IsWrite bool
+	Stride  bool
+	Lane    int
+	Gang    bool
+	Arrival dram.Cycle
+}
+
+// FromRequest captures a controller request.
+func FromRequest(r mc.Request) Record {
+	return Record{Addr: r.Addr, IsWrite: r.IsWrite, Stride: r.Stride, Lane: r.Lane, Gang: r.Gang, Arrival: r.Arrival}
+}
+
+// Request converts back to a controller request.
+func (r Record) Request(id uint64) mc.Request {
+	return mc.Request{ID: id, Addr: r.Addr, IsWrite: r.IsWrite, Stride: r.Stride, Lane: r.Lane, Gang: r.Gang, Arrival: r.Arrival}
+}
+
+// String renders one line of the text format:
+//
+//	R 0x00001040 @120
+//	W 0x00002000 @340
+//	S 0x00003000 lane=2 gang @500   (strided read)
+//	T 0x00003000 lane=1 @600        (strided write)
+func (r Record) String() string {
+	kind := "R"
+	switch {
+	case r.IsWrite && r.Stride:
+		kind = "T"
+	case r.IsWrite:
+		kind = "W"
+	case r.Stride:
+		kind = "S"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s 0x%08x", kind, r.Addr)
+	if r.Stride {
+		fmt.Fprintf(&b, " lane=%d", r.Lane)
+		if r.Gang {
+			b.WriteString(" gang")
+		}
+	}
+	fmt.Fprintf(&b, " @%d", r.Arrival)
+	return b.String()
+}
+
+// Trace is an in-order request log.
+type Trace struct {
+	Records []Record
+}
+
+// Add appends a record.
+func (t *Trace) Add(r Record) { t.Records = append(t.Records, r) }
+
+// Len returns the record count.
+func (t *Trace) Len() int { return len(t.Records) }
+
+// Write emits the text format.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range t.Records {
+		if _, err := fmt.Fprintln(bw, r.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the text format.
+func Read(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		rec, err := parseLine(text)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		t.Add(rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func parseLine(text string) (Record, error) {
+	fields := strings.Fields(text)
+	if len(fields) < 3 {
+		return Record{}, fmt.Errorf("too few fields in %q", text)
+	}
+	var rec Record
+	switch fields[0] {
+	case "R":
+	case "W":
+		rec.IsWrite = true
+	case "S":
+		rec.Stride = true
+	case "T":
+		rec.IsWrite, rec.Stride = true, true
+	default:
+		return Record{}, fmt.Errorf("unknown kind %q", fields[0])
+	}
+	if _, err := fmt.Sscanf(fields[1], "0x%x", &rec.Addr); err != nil {
+		return Record{}, fmt.Errorf("bad address %q", fields[1])
+	}
+	for _, f := range fields[2:] {
+		switch {
+		case strings.HasPrefix(f, "lane="):
+			if _, err := fmt.Sscanf(f, "lane=%d", &rec.Lane); err != nil {
+				return Record{}, fmt.Errorf("bad lane %q", f)
+			}
+		case f == "gang":
+			rec.Gang = true
+		case strings.HasPrefix(f, "@"):
+			if _, err := fmt.Sscanf(f, "@%d", &rec.Arrival); err != nil {
+				return Record{}, fmt.Errorf("bad arrival %q", f)
+			}
+		default:
+			return Record{}, fmt.Errorf("unknown field %q", f)
+		}
+	}
+	return rec, nil
+}
+
+// Replay pushes the trace through a controller and returns the completions.
+// Queue back-pressure is handled by servicing in between.
+func Replay(t *Trace, c *mc.Controller) []mc.Completion {
+	var comps []mc.Completion
+	for i, rec := range t.Records {
+		for !c.CanAccept(rec.IsWrite) {
+			comp, ok := c.ServiceOne()
+			if !ok {
+				break
+			}
+			comps = append(comps, comp)
+		}
+		c.Enqueue(rec.Request(uint64(i)))
+	}
+	comps = append(comps, c.Drain()...)
+	return comps
+}

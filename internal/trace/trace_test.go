@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sam/internal/dram"
+	"sam/internal/mc"
+)
+
+func sampleTrace() *Trace {
+	t := &Trace{}
+	t.Add(Record{Addr: 0x1000, Arrival: 10})
+	t.Add(Record{Addr: 0x2040, IsWrite: true, Arrival: 20})
+	t.Add(Record{Addr: 0x3000, Stride: true, Lane: 2, Gang: true, Arrival: 30})
+	t.Add(Record{Addr: 0x4000, Stride: true, IsWrite: true, Lane: 1, Arrival: 44})
+	return t
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Records, back.Records) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", tr.Records, back.Records)
+	}
+}
+
+func TestTraceTextFormat(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	tr.Write(&buf)
+	out := buf.String()
+	for _, want := range []string{"R 0x00001000 @10", "W 0x00002040 @20", "S 0x00003000 lane=2 gang @30", "T 0x00004000 lane=1 @44"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace text missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceCommentsAndBlanks(t *testing.T) {
+	in := "# header comment\n\nR 0x00000040 @5\n"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 || tr.Records[0].Addr != 0x40 {
+		t.Fatalf("parsed %+v", tr.Records)
+	}
+}
+
+func TestTraceParseErrors(t *testing.T) {
+	bad := []string{
+		"X 0x1000 @5",
+		"R nothex @5",
+		"R 0x1000 lane=z @5",
+		"R 0x1000 mystery @5",
+		"R 0x1000",
+	}
+	for _, line := range bad {
+		if _, err := Read(strings.NewReader(line)); err == nil {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}
+
+func TestRequestConversion(t *testing.T) {
+	r := Record{Addr: 0xABC0, Stride: true, Lane: 3, Arrival: 99}
+	req := r.Request(7)
+	if req.ID != 7 || req.Addr != 0xABC0 || !req.Stride || req.Lane != 3 || req.Arrival != 99 {
+		t.Fatalf("conversion lost fields: %+v", req)
+	}
+	if FromRequest(req) != r {
+		t.Fatal("FromRequest not inverse of Request")
+	}
+}
+
+func TestReplayDrivesController(t *testing.T) {
+	dev := dram.NewDevice(dram.DDR4_2400())
+	ctrl := mc.NewController(dev, mc.DefaultConfig())
+	tr := &Trace{}
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 500; i++ {
+		tr.Add(Record{
+			Addr:    uint64(rng.Intn(1 << 24)),
+			IsWrite: rng.Intn(4) == 0,
+			Arrival: dram.Cycle(i * 3),
+		})
+	}
+	comps := Replay(tr, ctrl)
+	if len(comps) != 500 {
+		t.Fatalf("replayed %d completions, want 500", len(comps))
+	}
+	if ctrl.Stats.Reads+ctrl.Stats.Writes != 500 {
+		t.Fatalf("controller stats: %+v", ctrl.Stats)
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	mk := func() []mc.Completion {
+		dev := dram.NewDevice(dram.DDR4_2400())
+		ctrl := mc.NewController(dev, mc.DefaultConfig())
+		tr := sampleTrace()
+		return Replay(tr, ctrl)
+	}
+	a, b := mk(), mk()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("replay not deterministic")
+	}
+}
+
+// FuzzRead is a native fuzz target for the trace parser: arbitrary input
+// must never panic, and anything that parses must round-trip through the
+// text format.
+func FuzzRead(f *testing.F) {
+	f.Add("R 0x00001000 @10\n")
+	f.Add("S 0x00003000 lane=2 gang @30\nT 0x00004000 lane=1 @44\n")
+	f.Add("# comment\n\nW 0x0 @0\n")
+	f.Add("X bogus\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatalf("write of parsed trace failed: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if !reflect.DeepEqual(tr.Records, back.Records) {
+			t.Fatal("round trip changed records")
+		}
+	})
+}

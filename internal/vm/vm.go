@@ -1,0 +1,173 @@
+// Package vm implements the OS support of Section 5.2: virtual-to-physical
+// translation with 4KB and huge (2MB) pages, and the stride-mode address
+// remapping of Fig. 10 applied per mapping — so an IMDB that knows the
+// mapping can lay records out for strided access, exactly as the paper
+// suggests implementing it ("leveraging the huge-page technique" or "a new
+// kernel module").
+package vm
+
+import (
+	"fmt"
+	"sort"
+
+	"sam/internal/mc"
+)
+
+// Page sizes.
+const (
+	PageBytes     = 4 << 10
+	HugePageBytes = 2 << 20
+)
+
+// Mapping is one contiguous virtual range backed by physical memory.
+type Mapping struct {
+	VirtBase uint64
+	PhysBase uint64
+	Bytes    uint64
+	Huge     bool
+	// StrideMode applies the Fig. 10 bit swap inside every page of the
+	// mapping, so same-offset sectors of group-aligned lines land where
+	// one strided burst gathers them.
+	StrideMode bool
+}
+
+// AddressSpace is a process's view of memory.
+type AddressSpace struct {
+	maps  []Mapping // sorted by VirtBase
+	remap mc.StrideRemap
+}
+
+// New builds an address space whose stride-mode mappings use the given
+// remap geometry (sector size and reach of the active SAM granularity).
+func New(remap mc.StrideRemap) *AddressSpace {
+	if !remap.Valid() {
+		panic(fmt.Sprintf("vm: invalid stride remap %+v", remap))
+	}
+	return &AddressSpace{remap: remap}
+}
+
+// pageSize returns the mapping's page granularity.
+func (m Mapping) pageSize() uint64 {
+	if m.Huge {
+		return HugePageBytes
+	}
+	return PageBytes
+}
+
+// Map adds a mapping. Base addresses and length must be page aligned, and
+// the virtual range must not overlap an existing mapping.
+func (a *AddressSpace) Map(m Mapping) error {
+	ps := m.pageSize()
+	if m.VirtBase%ps != 0 || m.PhysBase%ps != 0 || m.Bytes == 0 || m.Bytes%ps != 0 {
+		return fmt.Errorf("vm: mapping not %d-aligned: %+v", ps, m)
+	}
+	for _, ex := range a.maps {
+		if m.VirtBase < ex.VirtBase+ex.Bytes && ex.VirtBase < m.VirtBase+m.Bytes {
+			return fmt.Errorf("vm: virtual range [%x,+%x) overlaps existing mapping", m.VirtBase, m.Bytes)
+		}
+	}
+	a.maps = append(a.maps, m)
+	sort.Slice(a.maps, func(i, j int) bool { return a.maps[i].VirtBase < a.maps[j].VirtBase })
+	return nil
+}
+
+// lookup finds the mapping containing va.
+func (a *AddressSpace) lookup(va uint64) (*Mapping, error) {
+	i := sort.Search(len(a.maps), func(i int) bool { return a.maps[i].VirtBase+a.maps[i].Bytes > va })
+	if i == len(a.maps) || va < a.maps[i].VirtBase {
+		return nil, fmt.Errorf("vm: page fault at %#x", va)
+	}
+	return &a.maps[i], nil
+}
+
+// Translate resolves a virtual address. For stride-mode mappings the
+// Fig. 10 bit swap is applied within the page, so the physical layout
+// interleaves sectors across the gather group.
+func (a *AddressSpace) Translate(va uint64) (uint64, error) {
+	m, err := a.lookup(va)
+	if err != nil {
+		return 0, err
+	}
+	off := va - m.VirtBase
+	ps := m.pageSize()
+	pageOff := off % ps
+	pageBase := off - pageOff
+	if m.StrideMode {
+		pageOff = a.remap.Remap(pageOff%PageBytes) + (pageOff - pageOff%PageBytes)
+	}
+	return m.PhysBase + pageBase + pageOff, nil
+}
+
+// TranslateRange resolves [va, va+n) and requires it not to cross a
+// mapping boundary (callers split at boundaries).
+func (a *AddressSpace) TranslateRange(va uint64, n int) (uint64, error) {
+	m, err := a.lookup(va)
+	if err != nil {
+		return 0, err
+	}
+	if va+uint64(n) > m.VirtBase+m.Bytes {
+		return 0, fmt.Errorf("vm: range [%#x,+%d) crosses mapping end", va, n)
+	}
+	return a.Translate(va)
+}
+
+// Mappings returns a copy of the mapping list (diagnostics).
+func (a *AddressSpace) Mappings() []Mapping {
+	return append([]Mapping(nil), a.maps...)
+}
+
+// StrideGather returns, for a stride-mode virtual address, the virtual
+// addresses whose same-sector data one strided burst delivers together —
+// the group-alignment contract (Fig. 11a) made explicit for applications.
+func (a *AddressSpace) StrideGather(va uint64) ([]uint64, error) {
+	m, err := a.lookup(va)
+	if err != nil {
+		return nil, err
+	}
+	if !m.StrideMode {
+		return []uint64{va}, nil
+	}
+	lb := uint64(a.remap.LineBytes)
+	reach := uint64(a.remap.Reach)
+	sector := va % lb
+	lineIdx := (va / lb) % reach
+	base := va - sector - lineIdx*lb
+	out := make([]uint64, 0, reach)
+	for i := uint64(0); i < reach; i++ {
+		out = append(out, base+i*lb+sector)
+	}
+	return out, nil
+}
+
+// Allocator hands out physical pages bump-style, the way the simulator's
+// loader places tables.
+type Allocator struct {
+	next uint64
+}
+
+// NewAllocator starts allocation at base (rounded up to a huge page).
+func NewAllocator(base uint64) *Allocator {
+	rem := base % HugePageBytes
+	if rem != 0 {
+		base += HugePageBytes - rem
+	}
+	return &Allocator{next: base}
+}
+
+// Alloc reserves n bytes (rounded up to the page size) and returns the
+// physical base.
+func (al *Allocator) Alloc(n uint64, huge bool) uint64 {
+	ps := uint64(PageBytes)
+	if huge {
+		ps = HugePageBytes
+	}
+	if rem := al.next % ps; rem != 0 {
+		al.next += ps - rem
+	}
+	base := al.next
+	if rem := n % ps; rem != 0 {
+		n += ps - rem
+	}
+	al.next += n
+	return base
+}
