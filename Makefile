@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test race vet check test-runner bench-parallel
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the whole tree under the race detector.
+race:
+	$(GO) test -race ./...
+
+# test-runner exercises the parallel sweep-runner subsystem (and the
+# experiment drivers built on it) under the race detector.
+test-runner:
+	$(GO) test -race ./internal/runner ./internal/core
+
+# check is the CI gate: static analysis plus the full race-detector run.
+check: vet race
+
+# bench-parallel measures what the worker pool buys on a sweep grid.
+bench-parallel:
+	$(GO) test -run '^$$' -bench 'Parallelism' -benchtime 1x .

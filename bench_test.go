@@ -5,6 +5,7 @@
 package sam_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -63,7 +64,7 @@ func benchQuerySpeedup(b *testing.B, kind design.Kind, queryName string) {
 	w := benchWorkload()
 	var speedup float64
 	for i := 0; i < b.N; i++ {
-		rs, err := core.RunComparison([]design.Kind{kind}, design.Options{}, w, q)
+		rs, err := core.RunComparison(context.Background(), []design.Kind{kind}, design.Options{}, w, q, core.Par{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -97,7 +98,7 @@ func BenchmarkFig12GmeanQ(b *testing.B) {
 					if q.Class != core.ClassQ {
 						continue
 					}
-					rs, err := core.RunComparison([]design.Kind{kind}, design.Options{}, w, q)
+					rs, err := core.RunComparison(context.Background(), []design.Kind{kind}, design.Options{}, w, q, core.Par{})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -209,7 +210,7 @@ func BenchmarkFig15ArithSelectivity(b *testing.B) {
 		b.Run(fmt.Sprintf("sel%.0f%%", sel*100), func(b *testing.B) {
 			var v float64
 			for i := 0; i < b.N; i++ {
-				vals, err := core.RunSweepPoint(core.SweepPoint{Query: core.Arithmetic, Selectivity: sel, Projected: 8}, 512)
+				vals, err := core.RunSweepPoint(context.Background(), core.SweepPoint{Query: core.Arithmetic, Selectivity: sel, Projected: 8}, 512, core.Par{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -227,7 +228,7 @@ func BenchmarkFig15ArithProjectivity(b *testing.B) {
 		b.Run(fmt.Sprintf("proj%d", proj), func(b *testing.B) {
 			var v float64
 			for i := 0; i < b.N; i++ {
-				vals, err := core.RunSweepPoint(core.SweepPoint{Query: core.Arithmetic, Selectivity: 0.5, Projected: proj}, 512)
+				vals, err := core.RunSweepPoint(context.Background(), core.SweepPoint{Query: core.Arithmetic, Selectivity: 0.5, Projected: proj}, 512, core.Par{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -242,7 +243,7 @@ func BenchmarkFig15ArithProjectivity(b *testing.B) {
 func BenchmarkFig15Aggregate(b *testing.B) {
 	var v float64
 	for i := 0; i < b.N; i++ {
-		vals, err := core.RunSweepPoint(core.SweepPoint{Query: core.Aggregate, Selectivity: 0.5, Projected: 8}, 512)
+		vals, err := core.RunSweepPoint(context.Background(), core.SweepPoint{Query: core.Aggregate, Selectivity: 0.5, Projected: 8}, 512, core.Par{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -259,7 +260,7 @@ func BenchmarkFig15RecordSize(b *testing.B) {
 			var v float64
 			for i := 0; i < b.N; i++ {
 				fields := rb / imdb.FieldBytes
-				vals, err := core.RunSweepPoint(core.SweepPoint{Query: core.Arithmetic, Selectivity: 1, Projected: fields, RecordBytes: rb}, 512)
+				vals, err := core.RunSweepPoint(context.Background(), core.SweepPoint{Query: core.Arithmetic, Selectivity: 1, Projected: fields, RecordBytes: rb}, 512, core.Par{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -483,13 +484,61 @@ func BenchmarkFig15AggregateProjectivity(b *testing.B) {
 		b.Run(fmt.Sprintf("proj%d", proj), func(b *testing.B) {
 			var v float64
 			for i := 0; i < b.N; i++ {
-				vals, err := core.RunSweepPoint(core.SweepPoint{Query: core.Aggregate, Selectivity: 1.0, Projected: proj}, 512)
+				vals, err := core.RunSweepPoint(context.Background(), core.SweepPoint{Query: core.Aggregate, Selectivity: 1.0, Projected: proj}, 512, core.Par{})
 				if err != nil {
 					b.Fatal(err)
 				}
 				v = vals["SAM-en"]
 			}
 			b.ReportMetric(v, "sam-en-speedup")
+		})
+	}
+}
+
+// BenchmarkSweepParallelism contrasts the same Fig. 15 selectivity sweep
+// run serially (-workers=1) and on the full worker pool (-workers=0 =
+// GOMAXPROCS): the ratio of the two wall-clock times is the speedup the
+// runner subsystem buys on an embarrassingly parallel sweep grid.
+func BenchmarkSweepParallelism(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			par := core.Par{Workers: bc.workers}
+			for i := 0; i < b.N; i++ {
+				fig, err := core.Fig15SelectivitySweep(context.Background(), core.Arithmetic, 8, 512, par)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(fig.Cells) == 0 {
+					b.Fatal("empty sweep")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkComparisonParallelism is the same contrast on the Fig. 12 cell
+// grid: one query across every evaluated design plus the baseline.
+func BenchmarkComparisonParallelism(b *testing.B) {
+	w := benchWorkload()
+	q := core.Benchmark()[2] // Q3
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			par := core.Par{Workers: bc.workers}
+			for i := 0; i < b.N; i++ {
+				rs, err := core.RunComparison(context.Background(), design.AllEvaluated(), design.Options{}, w, q, par)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rs) == 0 {
+					b.Fatal("no results")
+				}
+			}
 		})
 	}
 }

@@ -1,17 +1,22 @@
 // Command samfig regenerates the paper's tables and figures (Section 6) as
-// plain-text tables or CSV.
+// plain-text tables or CSV. Every figure's grid of independent simulations
+// runs on a bounded worker pool; the emitted tables are byte-identical for
+// any -workers value, and Ctrl-C cancels a sweep mid-flight.
 //
 // Usage:
 //
 //	samfig -exp all
 //	samfig -exp fig12 -ta 16384 -tb 131072
 //	samfig -exp fig15a -csv
+//	samfig -exp all -small -workers 8 -progress
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"sam/internal/core"
@@ -25,7 +30,12 @@ func main() {
 	sweepRecords := flag.Int("sweep-records", 2048, "table records per Fig.15 sweep point")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	small := flag.Bool("small", false, "use the small (test-scale) workload")
+	workers := flag.Int("workers", 0, "max parallel simulations per sweep (0 = GOMAXPROCS, 1 = serial)")
+	progress := flag.Bool("progress", false, "report per-sweep progress on stderr")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	w := core.DefaultWorkload()
 	if *small {
@@ -36,6 +46,21 @@ func main() {
 	}
 	if *tbRecords > 0 {
 		w.TbRecords = *tbRecords
+	}
+
+	// par builds the per-sweep parallelism config; the progress callback
+	// rewrites one stderr line per completed simulation of that sweep.
+	par := func(name string) core.Par {
+		p := core.Par{Workers: *workers}
+		if *progress {
+			p.Progress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d runs", name, done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+		return p
 	}
 
 	emit := func(title string, tb *stats.Table) {
@@ -70,14 +95,14 @@ func main() {
 		emit("Table 3: benchmark queries (parsed and planned)", tb)
 	}
 	if wants("fig12") {
-		fig, err := core.Fig12(w)
+		fig, err := core.Fig12(ctx, w, par("fig12"))
 		if err != nil {
 			fail(err)
 		}
 		emit("Fig 12: speedup vs row-store baseline", fig.Table())
 	}
 	if wants("fig13") {
-		rows, err := core.Fig13(w)
+		rows, err := core.Fig13(ctx, w, par("fig13"))
 		if err != nil {
 			fail(err)
 		}
@@ -91,14 +116,14 @@ func main() {
 		emit("Fig 13: power and normalized energy efficiency", tb)
 	}
 	if wants("fig14a") {
-		fig, err := core.Fig14a(w)
+		fig, err := core.Fig14a(ctx, w, par("fig14a"))
 		if err != nil {
 			fail(err)
 		}
 		emit("Fig 14a: substrate swap (all-query gmean speedup)", fig.Table())
 	}
 	if wants("fig14b") {
-		fig, err := core.Fig14b(w)
+		fig, err := core.Fig14b(ctx, w, par("fig14b"))
 		if err != nil {
 			fail(err)
 		}
@@ -114,31 +139,31 @@ func main() {
 	}
 	sweeps := []sweep{
 		{"fig15a", func() (*core.Figure, error) {
-			return core.Fig15SelectivitySweep(core.Arithmetic, 8, *sweepRecords)
+			return core.Fig15SelectivitySweep(ctx, core.Arithmetic, 8, *sweepRecords, par("fig15a"))
 		}},
 		{"fig15b", func() (*core.Figure, error) {
-			return core.Fig15SelectivitySweep(core.Arithmetic, 64, *sweepRecords)
+			return core.Fig15SelectivitySweep(ctx, core.Arithmetic, 64, *sweepRecords, par("fig15b"))
 		}},
 		{"fig15c", func() (*core.Figure, error) {
-			return core.Fig15SelectivitySweep(core.Arithmetic, 128, *sweepRecords)
+			return core.Fig15SelectivitySweep(ctx, core.Arithmetic, 128, *sweepRecords, par("fig15c"))
 		}},
 		{"fig15d", func() (*core.Figure, error) {
-			return core.Fig15ProjectivitySweep(core.Arithmetic, 0.10, *sweepRecords)
+			return core.Fig15ProjectivitySweep(ctx, core.Arithmetic, 0.10, *sweepRecords, par("fig15d"))
 		}},
 		{"fig15e", func() (*core.Figure, error) {
-			return core.Fig15ProjectivitySweep(core.Arithmetic, 0.50, *sweepRecords)
+			return core.Fig15ProjectivitySweep(ctx, core.Arithmetic, 0.50, *sweepRecords, par("fig15e"))
 		}},
 		{"fig15f", func() (*core.Figure, error) {
-			return core.Fig15ProjectivitySweep(core.Arithmetic, 1.00, *sweepRecords)
+			return core.Fig15ProjectivitySweep(ctx, core.Arithmetic, 1.00, *sweepRecords, par("fig15f"))
 		}},
 		{"fig15g", func() (*core.Figure, error) {
-			return core.Fig15SelectivitySweep(core.Aggregate, 8, *sweepRecords)
+			return core.Fig15SelectivitySweep(ctx, core.Aggregate, 8, *sweepRecords, par("fig15g"))
 		}},
 		{"fig15h", func() (*core.Figure, error) {
-			return core.Fig15ProjectivitySweep(core.Aggregate, 1.00, *sweepRecords)
+			return core.Fig15ProjectivitySweep(ctx, core.Aggregate, 1.00, *sweepRecords, par("fig15h"))
 		}},
 		{"fig15i", func() (*core.Figure, error) {
-			return core.Fig15RecordSizeSweep(*sweepRecords)
+			return core.Fig15RecordSizeSweep(ctx, *sweepRecords, par("fig15i"))
 		}},
 	}
 	titles := map[string]string{

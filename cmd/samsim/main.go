@@ -6,16 +6,20 @@
 //	samsim -design SAM-en -query "SELECT SUM(f9) FROM Ta WHERE f10 > 2"
 //	samsim -design baseline -bench Q3
 //	samsim -design RC-NVM-wd -bench Qs2 -ta 4096
+//	samsim -design SAM-en -bench Q3 -compare -workers 2
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"sam/internal/core"
 	"sam/internal/design"
 	"sam/internal/imdb"
+	"sam/internal/runner"
 	"sam/internal/sim"
 	"sam/internal/sql"
 	"sam/internal/trace"
@@ -38,9 +42,13 @@ func main() {
 	taRecords := flag.Int("ta", 0, "records in Ta (0 = default)")
 	tbRecords := flag.Int("tb", 0, "records in Tb (0 = default)")
 	compare := flag.Bool("compare", false, "also run the baseline and report speedup")
+	workers := flag.Int("workers", 0, "max parallel simulations for -compare (0 = GOMAXPROCS)")
 	faultChip := flag.Int("faultchip", -1, "inject a dead chip at this index (chipkill study)")
 	traceOut := flag.String("trace", "", "dump the memory request trace to this file")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "samsim:", err)
@@ -78,7 +86,7 @@ func main() {
 		fail(fmt.Errorf("provide -query or -bench"))
 	}
 
-	var res *sim.QueryResult
+	var res, base *sim.QueryResult
 	if *faultChip >= 0 || *traceOut != "" {
 		// Build the system by hand so the extras can be attached.
 		d := design.New(kind, design.Options{})
@@ -110,6 +118,22 @@ func main() {
 			f.Close()
 			fmt.Printf("trace         %d requests -> %s\n", s.TraceSink.Len(), *traceOut)
 		}
+	} else if *compare && kind != design.Baseline {
+		// The design and its baseline are independent runs; fan them out
+		// on the worker pool.
+		runs, rerr := runner.Map(ctx, []design.Kind{kind, design.Baseline},
+			runner.Options{Workers: *workers},
+			func(_ context.Context, _ int, k design.Kind) (*sim.QueryResult, error) {
+				r, err := core.RunOne(k, design.Options{}, w, bench)
+				if err != nil {
+					return nil, fmt.Errorf("%v: %w", k, err)
+				}
+				return r, nil
+			})
+		if rerr != nil {
+			fail(rerr)
+		}
+		res, base = runs[0], runs[1]
 	} else {
 		res, err = core.RunOne(kind, design.Options{}, w, bench)
 		if err != nil {
@@ -118,9 +142,11 @@ func main() {
 	}
 	report(kind.String(), bench, res)
 	if *compare && kind != design.Baseline {
-		base, err := core.RunOne(design.Baseline, design.Options{}, w, bench)
-		if err != nil {
-			fail(err)
+		if base == nil { // fault/trace path: baseline still to run
+			base, err = core.RunOne(design.Baseline, design.Options{}, w, bench)
+			if err != nil {
+				fail(err)
+			}
 		}
 		fmt.Printf("\nspeedup vs baseline: %.2fx (baseline %d cycles)\n",
 			sim.Speedup(base.Stats, res.Stats), base.Stats.Cycles)

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -32,9 +33,9 @@ func main() {
 	fmt.Println("more of each gathered group is useful:")
 	fmt.Println()
 	for _, sel := range []float64{0.1, 0.25, 0.5, 0.75, 1.0} {
-		vals, err := core.RunSweepPoint(core.SweepPoint{
+		vals, err := core.RunSweepPoint(context.Background(), core.SweepPoint{
 			Query: core.Arithmetic, Selectivity: sel, Projected: 8,
-		}, records)
+		}, records, core.Par{})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -46,9 +47,9 @@ func main() {
 	fmt.Println("catches up — touching most of each record favors plain rows:")
 	fmt.Println()
 	for _, proj := range []int{2, 8, 32, 64, 127} {
-		vals, err := core.RunSweepPoint(core.SweepPoint{
+		vals, err := core.RunSweepPoint(context.Background(), core.SweepPoint{
 			Query: core.Arithmetic, Selectivity: 0.5, Projected: proj,
-		}, records)
+		}, records, core.Par{})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -62,9 +63,9 @@ func main() {
 	fmt.Println()
 	fmt.Printf("  %-12s %12s %12s\n", "query", "SAM-en", "RC-NVM-wd")
 	for _, k := range []core.SweepQueryKind{core.Arithmetic, core.Aggregate} {
-		vals, err := core.RunSweepPoint(core.SweepPoint{
+		vals, err := core.RunSweepPoint(context.Background(), core.SweepPoint{
 			Query: k, Selectivity: 0.5, Projected: 8,
-		}, records)
+		}, records, core.Par{})
 		if err != nil {
 			log.Fatal(err)
 		}

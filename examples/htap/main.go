@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,7 +36,7 @@ func main() {
 		q := byName[name]
 		row := []string{q.Name, q.Class.String()}
 		for _, k := range designs {
-			rs, err := core.RunComparison([]design.Kind{k}, design.Options{}, w, q)
+			rs, err := core.RunComparison(context.Background(), []design.Kind{k}, design.Options{}, w, q, core.Par{})
 			if err != nil {
 				log.Fatal(err)
 			}

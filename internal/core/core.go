@@ -5,12 +5,13 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"sam/internal/design"
 	"sam/internal/imdb"
+	"sam/internal/runner"
 	"sam/internal/sim"
 	"sam/internal/sql"
 )
@@ -127,6 +128,23 @@ func RunOne(kind design.Kind, opts design.Options, w Workload, q BenchQuery) (*s
 	return s.RunPlan(plan)
 }
 
+// Par configures how the experiment drivers fan their simulation grids
+// out over the bounded worker pool (internal/runner). The zero value runs
+// with GOMAXPROCS workers and no progress reporting; every driver is
+// deterministic for any worker count.
+type Par struct {
+	// Workers bounds concurrent simulations per sweep level; <= 0 means
+	// runtime.GOMAXPROCS(0). Workers = 1 reproduces serial execution.
+	Workers int
+	// Progress, when non-nil, receives (completed, total) after each
+	// simulation of the current sweep finishes. Calls are serialized.
+	Progress func(done, total int)
+}
+
+func (p Par) opts() runner.Options {
+	return runner.Options{Workers: p.Workers, OnProgress: p.Progress}
+}
+
 // SpeedupResult is one (query, design) cell of Fig. 12.
 type SpeedupResult struct {
 	Query   string
@@ -135,48 +153,50 @@ type SpeedupResult struct {
 	Result  *sim.QueryResult
 }
 
+// checkFunctional enforces invariant 9: every design must return the same
+// functional results as the row-store baseline.
+func checkFunctional(q BenchQuery, k design.Kind, base, r *sim.QueryResult) error {
+	if r.Rows != base.Rows || r.ProjChecks != base.ProjChecks || r.ArithChecks != base.ArithChecks {
+		return fmt.Errorf("%s on %v: functional mismatch (rows %d vs %d)", q.Name, k, r.Rows, base.Rows)
+	}
+	return nil
+}
+
 // RunComparison runs the query on the baseline and every given design,
-// returning speedups normalized to the row-store baseline. Designs run in
-// parallel (every run owns a fresh system; nothing is shared). It errors
-// if any design returns different functional results than the baseline
-// (invariant 9).
-func RunComparison(kinds []design.Kind, opts design.Options, w Workload, q BenchQuery) ([]SpeedupResult, error) {
-	base, err := RunOne(design.Baseline, opts, w, q)
-	if err != nil {
-		return nil, fmt.Errorf("%s baseline: %w", q.Name, err)
-	}
-	out := make([]SpeedupResult, len(kinds))
-	errs := make([]error, len(kinds))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i, k := range kinds {
-		wg.Add(1)
-		go func(i int, k design.Kind) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			r, err := RunOne(k, opts, w, q)
-			if err != nil {
-				errs[i] = fmt.Errorf("%s on %v: %w", q.Name, k, err)
-				return
-			}
-			if r.Rows != base.Rows || r.ProjChecks != base.ProjChecks || r.ArithChecks != base.ArithChecks {
-				errs[i] = fmt.Errorf("%s on %v: functional mismatch (rows %d vs %d)", q.Name, k, r.Rows, base.Rows)
-				return
-			}
-			out[i] = SpeedupResult{
-				Query:   q.Name,
-				Design:  k.String(),
-				Speedup: sim.Speedup(base.Stats, r.Stats),
-				Result:  r,
-			}
-		}(i, k)
-	}
-	wg.Wait()
-	for _, err := range errs {
+// returning speedups normalized to the row-store baseline. All runs
+// (baseline included) share one bounded worker pool; every run owns a
+// fresh system, so nothing is shared between workers. On failure the
+// joined error lists every failing design, not just the first.
+func RunComparison(ctx context.Context, kinds []design.Kind, opts design.Options, w Workload, q BenchQuery, par Par) ([]SpeedupResult, error) {
+	all := append([]design.Kind{design.Baseline}, kinds...)
+	runs, err := runner.Map(ctx, all, par.opts(), func(_ context.Context, _ int, k design.Kind) (*sim.QueryResult, error) {
+		r, err := RunOne(k, opts, w, q)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%s on %v: %w", q.Name, k, err)
 		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := runs[0]
+	out := make([]SpeedupResult, len(kinds))
+	var errs []error
+	for i, k := range kinds {
+		r := runs[i+1]
+		if err := checkFunctional(q, k, base, r); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		out[i] = SpeedupResult{
+			Query:   q.Name,
+			Design:  k.String(),
+			Speedup: sim.Speedup(base.Stats, r.Stats),
+			Result:  r,
+		}
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
 	}
 	return out, nil
 }

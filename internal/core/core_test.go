@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -57,7 +58,7 @@ func TestWriteFlags(t *testing.T) {
 func TestRunOneAndComparison(t *testing.T) {
 	w := tiny()
 	q := Benchmark()[2] // Q3
-	rs, err := RunComparison([]design.Kind{design.SAMEn, design.RCNVMWd}, design.Options{}, w, q)
+	rs, err := RunComparison(context.Background(), []design.Kind{design.SAMEn, design.RCNVMWd}, design.Options{}, w, q, Par{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestHeadlineOrdering(t *testing.T) {
 	qs4 := Benchmark()[15] // Qs4 (row-preferring)
 
 	get := func(q BenchQuery, k design.Kind) float64 {
-		rs, err := RunComparison([]design.Kind{k}, design.Options{}, w, q)
+		rs, err := RunComparison(context.Background(), []design.Kind{k}, design.Options{}, w, q, Par{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -218,18 +219,18 @@ func TestFigureHelpers(t *testing.T) {
 func TestSweepPointShapes(t *testing.T) {
 	// Selectivity up at fixed projectivity -> SAM-en speedup should not
 	// collapse; full projectivity + full selectivity -> near parity.
-	lo, err := RunSweepPoint(SweepPoint{Query: Arithmetic, Selectivity: 0.10, Projected: 8}, 512)
+	lo, err := RunSweepPoint(context.Background(), SweepPoint{Query: Arithmetic, Selectivity: 0.10, Projected: 8}, 512, Par{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	hi, err := RunSweepPoint(SweepPoint{Query: Arithmetic, Selectivity: 1.0, Projected: 8}, 512)
+	hi, err := RunSweepPoint(context.Background(), SweepPoint{Query: Arithmetic, Selectivity: 1.0, Projected: 8}, 512, Par{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if hi["SAM-en"] <= lo["SAM-en"] {
 		t.Fatalf("speedup should rise with selectivity: %.2f -> %.2f", lo["SAM-en"], hi["SAM-en"])
 	}
-	flat, err := RunSweepPoint(SweepPoint{Query: Arithmetic, Selectivity: 1.0, Projected: 128}, 512)
+	flat, err := RunSweepPoint(context.Background(), SweepPoint{Query: Arithmetic, Selectivity: 1.0, Projected: 128}, 512, Par{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func TestSweepPointShapes(t *testing.T) {
 }
 
 func TestSweepDegenerateRecordSize(t *testing.T) {
-	vals, err := RunSweepPoint(SweepPoint{Query: Arithmetic, Selectivity: 1.0, Projected: 1, RecordBytes: 8}, 256)
+	vals, err := RunSweepPoint(context.Background(), SweepPoint{Query: Arithmetic, Selectivity: 1.0, Projected: 1, RecordBytes: 8}, 256, Par{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +255,7 @@ func TestSweepDegenerateRecordSize(t *testing.T) {
 }
 
 func TestSweepAggregateTemplate(t *testing.T) {
-	vals, err := RunSweepPoint(SweepPoint{Query: Aggregate, Selectivity: 0.5, Projected: 4}, 256)
+	vals, err := RunSweepPoint(context.Background(), SweepPoint{Query: Aggregate, Selectivity: 0.5, Projected: 4}, 256, Par{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +283,7 @@ func TestPaperShapeRegression(t *testing.T) {
 		t.Skip("paper-shape regression skipped in short mode")
 	}
 	w := Workload{TaRecords: 1 << 10, TbRecords: 8 << 10, Seed: 0x9A9E12}
-	fig, err := Fig12(w)
+	fig, err := Fig12(context.Background(), w, Par{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +338,7 @@ func TestFig14bMonotonicGranularity(t *testing.T) {
 		t.Skip("granularity sweep skipped in short mode")
 	}
 	w := Workload{TaRecords: 512, TbRecords: 4096, Seed: 0x14B}
-	fig, err := Fig14b(w)
+	fig, err := Fig14b(context.Background(), w, Par{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,7 +367,7 @@ func TestFig13Shapes(t *testing.T) {
 		t.Skip("power study skipped in short mode")
 	}
 	w := Workload{TaRecords: 512, TbRecords: 2048, Seed: 0xF13}
-	rows, err := Fig13(w)
+	rows, err := Fig13(context.Background(), w, Par{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -418,7 +419,7 @@ func TestFig14aShapes(t *testing.T) {
 		t.Skip("substrate swap skipped in short mode")
 	}
 	w := Workload{TaRecords: 512, TbRecords: 2048, Seed: 0xF14}
-	fig, err := Fig14a(w)
+	fig, err := Fig14a(context.Background(), w, Par{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -462,7 +463,7 @@ func TestFig15SweepRunners(t *testing.T) {
 	}
 	// Each runner produces a full grid (trim the axes via tiny tables to
 	// keep this fast: one point per axis value, four designs each).
-	fig, err := Fig15SelectivitySweep(Arithmetic, 8, 256)
+	fig, err := Fig15SelectivitySweep(context.Background(), Arithmetic, 8, 256, Par{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -470,14 +471,14 @@ func TestFig15SweepRunners(t *testing.T) {
 	if len(fig.Cells) != wantCells {
 		t.Fatalf("selectivity sweep has %d cells, want %d", len(fig.Cells), wantCells)
 	}
-	fig, err = Fig15ProjectivitySweep(Aggregate, 0.5, 256)
+	fig, err = Fig15ProjectivitySweep(context.Background(), Aggregate, 0.5, 256, Par{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(fig.Cells) != len(Fig15Projectivities())*4 {
 		t.Fatalf("projectivity sweep cells: %d", len(fig.Cells))
 	}
-	fig, err = Fig15RecordSizeSweep(256)
+	fig, err = Fig15RecordSizeSweep(context.Background(), 256, Par{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -8,6 +10,7 @@ import (
 	"sam/internal/area"
 	"sam/internal/design"
 	"sam/internal/imdb"
+	"sam/internal/runner"
 	"sam/internal/sim"
 	"sam/internal/sql"
 	"sam/internal/stats"
@@ -16,6 +19,13 @@ import (
 // This file regenerates every table and figure of the paper's evaluation
 // (Section 6). Each Fig* function returns both the rendered table and the
 // raw series so tests and benches can assert on shapes.
+//
+// Every driver fans its grid of independent (query, design, sweep-point)
+// simulations out over the bounded worker pool in internal/runner: each
+// simulation owns a fresh sim.System (goroutine-confined for the whole
+// run), so the grid is embarrassingly parallel, and results are
+// aggregated in a fixed order so the emitted tables are byte-identical
+// for any Par.Workers value.
 
 // Cell is one (x, design) measurement of a figure.
 type Cell struct {
@@ -73,25 +83,46 @@ func (f *Figure) Table() *stats.Table {
 
 // Fig12 reproduces the headline speedup comparison: every Table 3 query on
 // every design, normalized to the row-store baseline, plus per-class
-// geometric means.
-func Fig12(w Workload) (*Figure, error) {
-	fig := &Figure{ID: "fig12"}
+// geometric means. The whole (query x design) grid — baseline runs
+// included — is one flat parallel sweep.
+func Fig12(ctx context.Context, w Workload, par Par) (*Figure, error) {
 	kinds := design.AllEvaluated()
+	queries := Benchmark()
+	runKinds := append([]design.Kind{design.Baseline}, kinds...)
+	grid, err := runner.Grid(ctx, queries, runKinds, par.opts(),
+		func(_ context.Context, _, _ int, q BenchQuery, k design.Kind) (*sim.QueryResult, error) {
+			r, err := RunOne(k, design.Options{}, w, q)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %v: %w", q.Name, k, err)
+			}
+			return r, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{ID: "fig12"}
 	gmQ := map[string][]float64{}
 	gmQs := map[string][]float64{}
-	for _, q := range Benchmark() {
-		rs, err := RunComparison(kinds, design.Options{}, w, q)
-		if err != nil {
-			return nil, err
-		}
-		for _, r := range rs {
-			fig.Cells = append(fig.Cells, Cell{X: q.Name, Design: r.Design, Value: r.Speedup})
+	var errs []error
+	for i, q := range queries {
+		base := grid[i][0]
+		for j, k := range kinds {
+			r := grid[i][j+1]
+			if err := checkFunctional(q, k, base, r); err != nil {
+				errs = append(errs, err)
+				continue
+			}
+			sp := sim.Speedup(base.Stats, r.Stats)
+			fig.Cells = append(fig.Cells, Cell{X: q.Name, Design: k.String(), Value: sp})
 			if q.Class == ClassQ {
-				gmQ[r.Design] = append(gmQ[r.Design], r.Speedup)
+				gmQ[k.String()] = append(gmQ[k.String()], sp)
 			} else {
-				gmQs[r.Design] = append(gmQs[r.Design], r.Speedup)
+				gmQs[k.String()] = append(gmQs[k.String()], sp)
 			}
 		}
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
 	}
 	for _, k := range kinds {
 		fig.Cells = append(fig.Cells,
@@ -130,34 +161,45 @@ type Fig13Row struct {
 	EnergyEff float64
 }
 
-// Fig13 reproduces the power/energy-efficiency study.
-func Fig13(w Workload) ([]Fig13Row, error) {
-	byName := map[string]BenchQuery{}
-	for _, q := range Benchmark() {
-		byName[q.Name] = q
-	}
+// Fig13 reproduces the power/energy-efficiency study. All (design, query)
+// runs execute as one parallel grid; the category averages are then
+// aggregated sequentially in the paper's order.
+func Fig13(ctx context.Context, w Workload, par Par) ([]Fig13Row, error) {
+	queries := Benchmark()
 	kinds := append([]design.Kind{Baseline()}, design.AllEvaluated()...)
+	grid, err := runner.Grid(ctx, kinds, queries, par.opts(),
+		func(_ context.Context, _, _ int, kind design.Kind, q BenchQuery) (*sim.QueryResult, error) {
+			r, err := RunOne(kind, design.Options{}, w, q)
+			if err != nil {
+				return nil, fmt.Errorf("fig13 %s %v: %w", q.Name, kind, err)
+			}
+			return r, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	res := map[string]map[string]*sim.QueryResult{} // design -> query -> result
+	for i, kind := range kinds {
+		byQuery := make(map[string]*sim.QueryResult, len(queries))
+		for j, q := range queries {
+			byQuery[q.Name] = grid[i][j]
+		}
+		res[kind.String()] = byQuery
+	}
+	baseRes := res[Baseline().String()]
 	var rows []Fig13Row
 	for _, cat := range Fig13Categories() {
-		baseEnergy := map[string]float64{}
 		for _, kind := range kinds {
 			var bg, rw, act, total, energy, baseE float64
 			for _, name := range cat.Queries {
-				q := byName[name]
-				r, err := RunOne(kind, design.Options{}, w, q)
-				if err != nil {
-					return nil, fmt.Errorf("fig13 %s %v: %w", name, kind, err)
-				}
+				r := res[kind.String()][name]
 				p := r.Stats.PowerMW
 				bg += p.Background
 				rw += p.RdWr
 				act += p.ActPre + p.Refresh
 				total += p.Background + p.RdWr + p.ActPre + p.Refresh
 				energy += r.Stats.Energy.Total()
-				if kind == Baseline() {
-					baseEnergy[name] = r.Stats.Energy.Total()
-				}
-				baseE += baseEnergy[name]
+				baseE += baseRes[name].Stats.Energy.Total()
 			}
 			n := float64(len(cat.Queries))
 			row := Fig13Row{
@@ -180,25 +222,57 @@ func Fig13(w Workload) ([]Fig13Row, error) {
 // Baseline returns the normalization design kind.
 func Baseline() design.Kind { return design.Baseline }
 
-// Fig14a reproduces the substrate swap: RC-NVM and SAM designs on both NVM
-// and DRAM, all-query geometric mean speedup.
-func Fig14a(w Workload) (*Figure, error) {
-	fig := &Figure{ID: "fig14a"}
-	kinds := []design.Kind{design.RCNVMWd, design.SAMSub, design.SAMIO, design.SAMEn}
-	for _, sub := range []design.Substrate{design.NVM, design.DRAM} {
-		opts := design.Options{Substrate: sub, SubstrateSet: true}
-		gm := map[string][]float64{}
-		for _, q := range Benchmark() {
-			// Normalize against the plain DRAM baseline, like the paper.
-			base, err := RunOne(design.Baseline, design.Options{}, w, q)
+// figJob is one (query, design, options) simulation of a Fig. 14 sweep.
+type figJob struct {
+	q    BenchQuery
+	kind design.Kind
+	opts design.Options
+}
+
+// runJobs executes a flat job list on the worker pool.
+func runJobs(ctx context.Context, jobs []figJob, w Workload, par Par) ([]*sim.QueryResult, error) {
+	return runner.Map(ctx, jobs, par.opts(),
+		func(_ context.Context, _ int, j figJob) (*sim.QueryResult, error) {
+			r, err := RunOne(j.kind, j.opts, w, j.q)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("%s on %v: %w", j.q.Name, j.kind, err)
 			}
+			return r, nil
+		})
+}
+
+// Fig14a reproduces the substrate swap: RC-NVM and SAM designs on both NVM
+// and DRAM, all-query geometric mean speedup. Baseline runs (normalization
+// is always against the plain DRAM baseline, like the paper) execute once
+// per query and share the same pool as the design runs.
+func Fig14a(ctx context.Context, w Workload, par Par) (*Figure, error) {
+	kinds := []design.Kind{design.RCNVMWd, design.SAMSub, design.SAMIO, design.SAMEn}
+	subs := []design.Substrate{design.NVM, design.DRAM}
+	queries := Benchmark()
+	var jobs []figJob
+	for _, q := range queries {
+		jobs = append(jobs, figJob{q: q, kind: design.Baseline})
+	}
+	for _, sub := range subs {
+		opts := design.Options{Substrate: sub, SubstrateSet: true}
+		for _, q := range queries {
 			for _, k := range kinds {
-				r, err := RunOne(k, opts, w, q)
-				if err != nil {
-					return nil, err
-				}
+				jobs = append(jobs, figJob{q: q, kind: k, opts: opts})
+			}
+		}
+	}
+	res, err := runJobs(ctx, jobs, w, par)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{ID: "fig14a"}
+	nq, nk := len(queries), len(kinds)
+	for si, sub := range subs {
+		gm := map[string][]float64{}
+		for qi := range queries {
+			base := res[qi]
+			for ki, k := range kinds {
+				r := res[nq+si*nq*nk+qi*nk+ki]
 				gm[k.String()] = append(gm[k.String()], sim.Speedup(base.Stats, r.Stats))
 			}
 		}
@@ -211,26 +285,38 @@ func Fig14a(w Workload) (*Figure, error) {
 
 // Fig14b reproduces the strided-granularity sweep (16/8/4 bits per chip)
 // for RC-NVM-wd, GS-DRAM-ecc, and SAM-en: Q-query geometric mean.
-func Fig14b(w Workload) (*Figure, error) {
-	fig := &Figure{ID: "fig14b"}
+func Fig14b(ctx context.Context, w Workload, par Par) (*Figure, error) {
 	kinds := []design.Kind{design.RCNVMWd, design.GSDRAMecc, design.SAMEn}
 	grans := []design.Granularity{design.Gran16, design.Gran8, design.Gran4}
+	var queries []BenchQuery
+	for _, q := range Benchmark() {
+		if q.Class == ClassQ {
+			queries = append(queries, q)
+		}
+	}
+	var jobs []figJob
+	for _, q := range queries {
+		jobs = append(jobs, figJob{q: q, kind: design.Baseline})
+	}
 	for _, g := range grans {
-		opts := design.Options{Gran: g}
-		gm := map[string][]float64{}
-		for _, q := range Benchmark() {
-			if q.Class != ClassQ {
-				continue
-			}
-			base, err := RunOne(design.Baseline, design.Options{}, w, q)
-			if err != nil {
-				return nil, err
-			}
+		for _, q := range queries {
 			for _, k := range kinds {
-				r, err := RunOne(k, opts, w, q)
-				if err != nil {
-					return nil, err
-				}
+				jobs = append(jobs, figJob{q: q, kind: k, opts: design.Options{Gran: g}})
+			}
+		}
+	}
+	res, err := runJobs(ctx, jobs, w, par)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{ID: "fig14b"}
+	nq, nk := len(queries), len(kinds)
+	for gi, g := range grans {
+		gm := map[string][]float64{}
+		for qi := range queries {
+			base := res[qi]
+			for ki, k := range kinds {
+				r := res[nq+gi*nq*nk+qi*nk+ki]
 				gm[k.String()] = append(gm[k.String()], sim.Speedup(base.Stats, r.Stats))
 			}
 		}
@@ -312,9 +398,23 @@ func SweepDesigns() []design.Kind {
 	return []design.Kind{design.RCNVMWd, design.GSDRAMecc, design.SAMEn}
 }
 
+// sweepDesignNames is the deterministic column order of every Fig. 15
+// figure: the sweep designs in paper order, then the ideal bound. Iterating
+// the RunSweepPoint map in this order (instead of Go's randomized map
+// range) is what keeps sweep tables byte-identical across runs and worker
+// counts.
+func sweepDesignNames() []string {
+	names := make([]string, 0, len(SweepDesigns())+1)
+	for _, k := range SweepDesigns() {
+		names = append(names, k.String())
+	}
+	return append(names, "ideal")
+}
+
 // RunSweepPoint measures all sweep designs (plus ideal) at one point,
-// returning speedups over the row-store baseline.
-func RunSweepPoint(p SweepPoint, records int) (map[string]float64, error) {
+// returning speedups over the row-store baseline. The per-design runs
+// (baseline and ideal included) execute in parallel on the worker pool.
+func RunSweepPoint(ctx context.Context, p SweepPoint, records int, par Par) (map[string]float64, error) {
 	if p.Records > 0 {
 		records = p.Records
 	}
@@ -364,28 +464,43 @@ func RunSweepPoint(p SweepPoint, records int) (map[string]float64, error) {
 		return s.RunPlan(plan)
 	}
 
-	base, err := run(design.Baseline, false)
-	if err != nil {
-		return nil, err
+	type sweepRun struct {
+		kind     design.Kind
+		colStore bool
 	}
-	out := map[string]float64{}
+	runs := []sweepRun{{design.Baseline, false}}
 	for _, k := range SweepDesigns() {
-		r, err := run(k, false)
-		if err != nil {
-			return nil, err
-		}
-		if r.Rows != base.Rows || r.ArithChecks != base.ArithChecks {
-			return nil, fmt.Errorf("core: sweep functional mismatch on %v", k)
-		}
-		out[k.String()] = sim.Speedup(base.Stats, r.Stats)
+		runs = append(runs, sweepRun{k, false})
 	}
 	// Ideal: preferred store — the better of row (baseline itself) and
 	// column placement.
-	col, err := run(design.Ideal, true)
+	runs = append(runs, sweepRun{design.Ideal, true})
+	res, err := runner.Map(ctx, runs, par.opts(),
+		func(_ context.Context, _ int, sr sweepRun) (*sim.QueryResult, error) {
+			r, err := run(sr.kind, sr.colStore)
+			if err != nil {
+				return nil, fmt.Errorf("sweep on %v: %w", sr.kind, err)
+			}
+			return r, nil
+		})
 	if err != nil {
 		return nil, err
 	}
-	ideal := sim.Speedup(base.Stats, col.Stats)
+	base := res[0]
+	out := map[string]float64{}
+	var errs []error
+	for i, k := range SweepDesigns() {
+		r := res[i+1]
+		if r.Rows != base.Rows || r.ArithChecks != base.ArithChecks {
+			errs = append(errs, fmt.Errorf("core: sweep functional mismatch on %v", k))
+			continue
+		}
+		out[k.String()] = sim.Speedup(base.Stats, r.Stats)
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	ideal := sim.Speedup(base.Stats, res[len(res)-1].Stats)
 	if ideal < 1 {
 		ideal = 1
 	}
@@ -403,64 +518,70 @@ func Fig15Projectivities() []int { return []int{1, 2, 4, 8, 16, 32, 64, 96, 127}
 // Fig15RecordSizes is the x axis of panel (i).
 func Fig15RecordSizes() []int { return []int{8, 16, 32, 64, 128, 256, 512, 1024} }
 
+// sweepFigure runs one Fig. 15 sweep axis in parallel: points fan out on
+// the outer pool (which owns the progress callback), and each point's
+// per-design runs fan out on an inner pool with the same worker bound.
+func sweepFigure(ctx context.Context, id string, points []SweepPoint, records int, labels func(i int) string, par Par) (*Figure, error) {
+	inner := Par{Workers: par.Workers} // progress reports whole points only
+	vals, err := runner.Map(ctx, points, par.opts(),
+		func(ctx context.Context, _ int, p SweepPoint) (map[string]float64, error) {
+			return RunSweepPoint(ctx, p, records, inner)
+		})
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{ID: id}
+	for i := range points {
+		x := labels(i)
+		for _, d := range sweepDesignNames() {
+			fig.Cells = append(fig.Cells, Cell{X: x, Design: d, Value: vals[i][d]})
+		}
+	}
+	return fig, nil
+}
+
 // Fig15SelectivitySweep runs panels (a)-(c)/(g): speedup vs selectivity at
 // fixed projectivity.
-func Fig15SelectivitySweep(kind SweepQueryKind, projected, records int) (*Figure, error) {
+func Fig15SelectivitySweep(ctx context.Context, kind SweepQueryKind, projected, records int, par Par) (*Figure, error) {
 	name := "fig15-arith-sel"
 	if kind == Aggregate {
 		name = "fig15-aggr-sel"
 	}
-	fig := &Figure{ID: fmt.Sprintf("%s-p%d", name, projected)}
-	for _, sel := range Fig15Selectivities() {
-		vals, err := RunSweepPoint(SweepPoint{Query: kind, Selectivity: sel, Projected: projected}, records)
-		if err != nil {
-			return nil, err
-		}
-		x := fmt.Sprintf("%.0f%%", sel*100)
-		for d, v := range vals {
-			fig.Cells = append(fig.Cells, Cell{X: x, Design: d, Value: v})
-		}
+	sels := Fig15Selectivities()
+	points := make([]SweepPoint, len(sels))
+	for i, sel := range sels {
+		points[i] = SweepPoint{Query: kind, Selectivity: sel, Projected: projected}
 	}
-	return fig, nil
+	return sweepFigure(ctx, fmt.Sprintf("%s-p%d", name, projected), points, records,
+		func(i int) string { return fmt.Sprintf("%.0f%%", sels[i]*100) }, par)
 }
 
 // Fig15ProjectivitySweep runs panels (d)-(f)/(h): speedup vs projectivity
 // at fixed selectivity.
-func Fig15ProjectivitySweep(kind SweepQueryKind, selectivity float64, records int) (*Figure, error) {
+func Fig15ProjectivitySweep(ctx context.Context, kind SweepQueryKind, selectivity float64, records int, par Par) (*Figure, error) {
 	name := "fig15-arith-proj"
 	if kind == Aggregate {
 		name = "fig15-aggr-proj"
 	}
-	fig := &Figure{ID: fmt.Sprintf("%s-s%.0f", name, selectivity*100)}
-	for _, proj := range Fig15Projectivities() {
-		vals, err := RunSweepPoint(SweepPoint{Query: kind, Selectivity: selectivity, Projected: proj}, records)
-		if err != nil {
-			return nil, err
-		}
-		x := fmt.Sprintf("%d", proj)
-		for d, v := range vals {
-			fig.Cells = append(fig.Cells, Cell{X: x, Design: d, Value: v})
-		}
+	projs := Fig15Projectivities()
+	points := make([]SweepPoint, len(projs))
+	for i, proj := range projs {
+		points[i] = SweepPoint{Query: kind, Selectivity: selectivity, Projected: proj}
 	}
-	return fig, nil
+	return sweepFigure(ctx, fmt.Sprintf("%s-s%.0f", name, selectivity*100), points, records,
+		func(i int) string { return fmt.Sprintf("%d", projs[i]) }, par)
 }
 
 // Fig15RecordSizeSweep runs panel (i): all fields projected, 100% selected,
 // record size varied.
-func Fig15RecordSizeSweep(records int) (*Figure, error) {
-	fig := &Figure{ID: "fig15i"}
-	for _, rb := range Fig15RecordSizes() {
-		fields := rb / imdb.FieldBytes
-		vals, err := RunSweepPoint(SweepPoint{
-			Query: Arithmetic, Selectivity: 1.0, Projected: fields, RecordBytes: rb,
-		}, records)
-		if err != nil {
-			return nil, err
-		}
-		x := fmt.Sprintf("%dB", rb)
-		for d, v := range vals {
-			fig.Cells = append(fig.Cells, Cell{X: x, Design: d, Value: v})
+func Fig15RecordSizeSweep(ctx context.Context, records int, par Par) (*Figure, error) {
+	sizes := Fig15RecordSizes()
+	points := make([]SweepPoint, len(sizes))
+	for i, rb := range sizes {
+		points[i] = SweepPoint{
+			Query: Arithmetic, Selectivity: 1.0, Projected: rb / imdb.FieldBytes, RecordBytes: rb,
 		}
 	}
-	return fig, nil
+	return sweepFigure(ctx, "fig15i", points, records,
+		func(i int) string { return fmt.Sprintf("%dB", sizes[i]) }, par)
 }

@@ -162,6 +162,11 @@ func max2(a, b Cycle) Cycle {
 }
 
 func maxN(vals ...Cycle) Cycle {
+	// Cycle values can be negative (the `never` sentinel), so seed from the
+	// first element; an empty list yields 0 instead of panicking.
+	if len(vals) == 0 {
+		return 0
+	}
 	m := vals[0]
 	for _, v := range vals[1:] {
 		if v > m {

@@ -609,3 +609,21 @@ func TestModeRegisterCommand(t *testing.T) {
 		t.Fatal("same-mode MRS counted as a switch")
 	}
 }
+
+func TestMaxNEdges(t *testing.T) {
+	// maxN must tolerate an empty argument list (it used to panic) and
+	// must seed from the first element, since Cycle values go as low as
+	// the `never` sentinel (negative).
+	if got := maxN(); got != 0 {
+		t.Fatalf("maxN() = %d, want 0", got)
+	}
+	if got := maxN(never); got != never {
+		t.Fatalf("maxN(never) = %d, want never", got)
+	}
+	if got := maxN(never, -3, -7); got != -3 {
+		t.Fatalf("maxN of negatives = %d, want -3", got)
+	}
+	if got := maxN(5, never, 12, 3); got != 12 {
+		t.Fatalf("maxN mixed = %d, want 12", got)
+	}
+}

@@ -135,6 +135,23 @@ func (t *Table) Append(values []uint64) int {
 	return rec
 }
 
+// fracOfMax scales frac in [0,1] to the uint64 range. The naive
+// uint64(frac*float64(^uint64(0))) is implementation-defined for frac just
+// below 1: float64(^uint64(0)) rounds to 2^64, the product can round to
+// exactly 2^64, and Go leaves the float→uint64 conversion of an
+// out-of-range value unspecified. Instead scale by 2^53 — exact for every
+// float64 in [0,1), since such values carry at most 53 significant bits —
+// and shift the integer result up to the full range.
+func fracOfMax(frac float64) uint64 {
+	if frac <= 0 {
+		return 0
+	}
+	if frac >= 1 {
+		return ^uint64(0)
+	}
+	return uint64(frac*(1<<53)) << 11
+}
+
 // SelectivityThreshold returns a predicate constant x such that
 // "field > x" holds for approximately the requested fraction of the base
 // records. Values are uniform over uint64, so the threshold is analytic.
@@ -145,19 +162,14 @@ func SelectivityThreshold(frac float64) uint64 {
 	if frac >= 1 {
 		return 0
 	}
-	return uint64((1 - frac) * float64(^uint64(0)))
+	// 1-frac may round up to 1.0 for subnormal frac; fracOfMax clamps.
+	return fracOfMax(1 - frac)
 }
 
 // Percentile returns the value v such that "field < v" selects
 // approximately frac of uniform records.
 func Percentile(frac float64) uint64 {
-	if frac <= 0 {
-		return 0
-	}
-	if frac >= 1 {
-		return ^uint64(0)
-	}
-	return uint64(frac * float64(^uint64(0)))
+	return fracOfMax(frac)
 }
 
 // Alignment describes the record alignment a design requires (Fig. 11):

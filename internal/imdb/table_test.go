@@ -149,6 +149,39 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// TestFracScalingEdges pins the numeric edges of the float→uint64 scaling:
+// the old frac*float64(^uint64(0)) form rounded to exactly 2^64 for frac
+// just below 1, making the conversion implementation-defined.
+func TestFracScalingEdges(t *testing.T) {
+	almostOne := math.Nextafter(1, 0) // 1 - 2^-53, the largest float64 < 1
+	v := Percentile(almostOne)
+	if want := uint64(1<<53-1) << 11; v != want {
+		t.Fatalf("Percentile(almost 1) = %#x, want %#x", v, want)
+	}
+	if v >= ^uint64(0) {
+		t.Fatalf("Percentile(almost 1) = %#x must stay below max", v)
+	}
+	if Percentile(almostOne) <= Percentile(0.5) {
+		t.Fatal("Percentile not monotonic near 1")
+	}
+	// Exactly representable fractions keep their exact scaled value.
+	if Percentile(0.5) != 1<<63 {
+		t.Fatalf("Percentile(0.5) = %#x, want 2^63", Percentile(0.5))
+	}
+	if Percentile(0.25) != 1<<62 {
+		t.Fatalf("Percentile(0.25) = %#x, want 2^62", Percentile(0.25))
+	}
+	// The mirrored threshold form: frac just above 0 means "select almost
+	// nothing", so the threshold saturates at max (1-frac rounds to 1).
+	tiny := math.Nextafter(0, 1)
+	if x := SelectivityThreshold(tiny); x != ^uint64(0) {
+		t.Fatalf("SelectivityThreshold(tiny) = %#x, want max", x)
+	}
+	if x := SelectivityThreshold(almostOne); x >= SelectivityThreshold(0.5) {
+		t.Fatal("SelectivityThreshold not monotonic near 1")
+	}
+}
+
 func TestAlignmentGroups(t *testing.T) {
 	a := Alignment{GroupRecords: 4}
 	if a.GroupOf(0) != 0 || a.GroupOf(3) != 0 || a.GroupOf(4) != 1 {

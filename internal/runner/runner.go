@@ -1,0 +1,159 @@
+// Package runner is the generic bounded worker-pool sweep runner behind
+// the figure and sweep pipelines: every experiment in the paper's
+// evaluation (Figs. 12-15) is a grid of independent (query, design,
+// sweep-point) simulations, and this package fans such grids out across
+// GOMAXPROCS workers while keeping the results deterministic.
+//
+// Guarantees:
+//
+//   - Bounded concurrency: at most Options.Workers goroutines run items,
+//     and exactly min(Workers, len(items)) goroutines are ever created —
+//     never one per item.
+//   - Deterministic ordering: result i always corresponds to item i,
+//     regardless of worker count or completion order.
+//   - Full error aggregation: every failing item's error is collected and
+//     returned via errors.Join, not just the first.
+//   - Cancellation: once ctx is cancelled no new item starts; in-flight
+//     items finish and the joined error includes ctx's cause.
+//   - Panic containment: a panicking item is converted into that item's
+//     error (with its stack) instead of crashing the whole sweep.
+//
+// Workers must not share mutable state through the item function; each
+// simulation run owns a fresh sim.System, which is what makes the fan-out
+// sound (see internal/core).
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Options configures one Map or Grid call.
+type Options struct {
+	// Workers bounds the number of concurrently running items.
+	// Zero or negative means runtime.GOMAXPROCS(0).
+	Workers int
+	// OnProgress, when non-nil, is called after each item completes with
+	// the number of completed items and the total. Calls are serialized,
+	// so the callback needs no locking of its own, but it runs on worker
+	// goroutines and should be cheap.
+	OnProgress func(done, total int)
+}
+
+// workers resolves the effective worker count for n items.
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map applies fn to every item on a bounded worker pool and returns the
+// results in item order. fn receives the item's index so it can label its
+// own errors; Map itself wraps only panics. On failure the returned slice
+// still holds every successful result (failed slots keep R's zero value)
+// and the error joins every per-item failure, plus the context cause if
+// the sweep was cancelled.
+func Map[T, R any](ctx context.Context, items []T, opts Options, fn func(ctx context.Context, i int, item T) (R, error)) ([]R, error) {
+	n := len(items)
+	res := make([]R, n)
+	if n == 0 || ctx.Err() != nil {
+		return res, ctx.Err()
+	}
+	errs := make([]error, n)
+	var (
+		wg         sync.WaitGroup
+		progressMu sync.Mutex
+		done       int
+	)
+	idx := make(chan int)
+	for w := 0; w < opts.workers(n); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = runOne(ctx, i, items[i], fn, &res[i])
+				if opts.OnProgress != nil {
+					progressMu.Lock()
+					done++
+					opts.OnProgress(done, n)
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		// The explicit Err check keeps the select's random choice from
+		// feeding extra items once cancellation has been observed.
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	var all []error
+	if err := ctx.Err(); err != nil {
+		all = append(all, err)
+	}
+	for _, err := range errs {
+		if err != nil {
+			all = append(all, err)
+		}
+	}
+	return res, errors.Join(all...)
+}
+
+// runOne executes one item, converting a panic into its error.
+func runOne[T, R any](ctx context.Context, i int, item T, fn func(context.Context, int, T) (R, error), out *R) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("runner: item %d panicked: %v\n%s", i, p, debug.Stack())
+		}
+	}()
+	r, ferr := fn(ctx, i, item)
+	if ferr != nil {
+		return ferr
+	}
+	*out = r
+	return nil
+}
+
+// Grid applies fn to the cross product as x bs on one shared worker pool
+// and returns results indexed [i][j] like the nested loops it replaces.
+// Ordering, error aggregation, cancellation, and panic handling follow
+// Map; the whole grid is a single flat sweep, so a slow row cannot
+// serialize the rows behind it.
+func Grid[A, B, R any](ctx context.Context, as []A, bs []B, opts Options, fn func(ctx context.Context, i, j int, a A, b B) (R, error)) ([][]R, error) {
+	type cell struct{ i, j int }
+	cells := make([]cell, 0, len(as)*len(bs))
+	for i := range as {
+		for j := range bs {
+			cells = append(cells, cell{i, j})
+		}
+	}
+	flat, err := Map(ctx, cells, opts, func(ctx context.Context, _ int, c cell) (R, error) {
+		return fn(ctx, c.i, c.j, as[c.i], bs[c.j])
+	})
+	out := make([][]R, len(as))
+	for i := range out {
+		out[i] = flat[i*len(bs) : (i+1)*len(bs)]
+	}
+	return out, err
+}
