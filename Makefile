@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check test-runner bench-parallel
+.PHONY: build test race vet check test-runner bench-parallel profile
 
 build:
 	$(GO) build ./...
@@ -26,3 +26,12 @@ check: vet race
 # bench-parallel measures what the worker pool buys on a sweep grid.
 bench-parallel:
 	$(GO) test -run '^$$' -bench 'Parallelism' -benchtime 1x .
+
+# profile runs a representative query under the CPU and heap profilers and
+# dumps the machine-readable run report; inspect with `go tool pprof`.
+profile:
+	mkdir -p profiles
+	$(GO) run ./cmd/samsim -design SAM-en -bench Q3 \
+		-cpuprofile profiles/samsim.cpu.pprof -memprofile profiles/samsim.mem.pprof \
+		-stats-json profiles/samsim.stats.json
+	@echo "wrote profiles/samsim.{cpu,mem}.pprof and profiles/samsim.stats.json"

@@ -13,15 +13,38 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 
 	"sam/internal/core"
+	"sam/internal/prof"
+	"sam/internal/sim"
 	"sam/internal/stats"
 )
+
+// metricEntry is one simulation's statistics inside a figure's metrics
+// dump: the figure cell it belongs to plus the full run report.
+type metricEntry struct {
+	X      string
+	Design string
+	Stats  sim.RunStats
+}
+
+// metricsFile is the on-disk shape of <metrics-dir>/<figID>.json: every
+// run's statistics in emission order, plus the merge of all histogram
+// snapshots across the figure (a stats.Snapshot.Merge exercise — entries
+// arrive in the drivers' fixed aggregation order, so the file is
+// byte-identical for any -workers value).
+type metricsFile struct {
+	Figure  string
+	Entries []metricEntry
+	Merged  *stats.Snapshot
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1, table2, table3, fig12, fig13, fig14a, fig14b, fig14c, fig15a..fig15i, all")
@@ -32,6 +55,9 @@ func main() {
 	small := flag.Bool("small", false, "use the small (test-scale) workload")
 	workers := flag.Int("workers", 0, "max parallel simulations per sweep (0 = GOMAXPROCS, 1 = serial)")
 	progress := flag.Bool("progress", false, "report per-sweep progress on stderr")
+	metricsDir := flag.String("metrics-dir", "", "dump per-figure run metrics as JSON files into this directory")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -48,6 +74,27 @@ func main() {
 		w.TbRecords = *tbRecords
 	}
 
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "samfig:", err)
+		os.Exit(1)
+	}
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fail(err)
+		}
+	}()
+
+	// collected gathers per-run metrics by figure ID, in emission order
+	// (the drivers call Par.Metrics from their deterministic aggregation
+	// loops, never from workers).
+	collected := map[string]*metricsFile{}
+	var collectedOrder []string
+
 	// par builds the per-sweep parallelism config; the progress callback
 	// rewrites one stderr line per completed simulation of that sweep.
 	par := func(name string) core.Par {
@@ -57,6 +104,20 @@ func main() {
 				fmt.Fprintf(os.Stderr, "\r%s: %d/%d runs", name, done, total)
 				if done == total {
 					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+		if *metricsDir != "" {
+			p.Metrics = func(figID, x, designName string, st sim.RunStats) {
+				mf, ok := collected[figID]
+				if !ok {
+					mf = &metricsFile{Figure: figID, Merged: &stats.Snapshot{}}
+					collected[figID] = mf
+					collectedOrder = append(collectedOrder, figID)
+				}
+				mf.Entries = append(mf.Entries, metricEntry{X: x, Design: designName, Stats: st})
+				if err := mf.Merged.Merge(st.Metrics); err != nil {
+					fail(fmt.Errorf("%s: %w", figID, err))
 				}
 			}
 		}
@@ -71,10 +132,6 @@ func main() {
 			fmt.Print(tb.String())
 		}
 		fmt.Println()
-	}
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "samfig:", err)
-		os.Exit(1)
 	}
 
 	wants := func(name string) bool {
@@ -197,5 +254,23 @@ func main() {
 	}
 	if !known[*exp] && !ranAny {
 		fail(fmt.Errorf("unknown experiment %q", *exp))
+	}
+
+	if *metricsDir != "" {
+		if err := os.MkdirAll(*metricsDir, 0o755); err != nil {
+			fail(err)
+		}
+		for _, figID := range collectedOrder {
+			enc, err := json.MarshalIndent(collected[figID], "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			enc = append(enc, '\n')
+			path := filepath.Join(*metricsDir, figID+".json")
+			if err := os.WriteFile(path, enc, 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "samfig: wrote %s (%d runs)\n", path, len(collected[figID].Entries))
+		}
 	}
 }

@@ -11,6 +11,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 	"sam/internal/core"
 	"sam/internal/design"
 	"sam/internal/imdb"
+	"sam/internal/prof"
 	"sam/internal/runner"
 	"sam/internal/sim"
 	"sam/internal/sql"
@@ -45,6 +47,9 @@ func main() {
 	workers := flag.Int("workers", 0, "max parallel simulations for -compare (0 = GOMAXPROCS)")
 	faultChip := flag.Int("faultchip", -1, "inject a dead chip at this index (chipkill study)")
 	traceOut := flag.String("trace", "", "dump the memory request trace to this file")
+	statsJSON := flag.String("stats-json", "", "write the full run report as JSON to this file ('-' for stdout)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -54,6 +59,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "samsim:", err)
 		os.Exit(1)
 	}
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fail(err)
+		}
+	}()
 
 	kind, err := kindByName(*designName)
 	if err != nil {
@@ -151,6 +166,45 @@ func main() {
 		fmt.Printf("\nspeedup vs baseline: %.2fx (baseline %d cycles)\n",
 			sim.Speedup(base.Stats, res.Stats), base.Stats.Cycles)
 	}
+	if *statsJSON != "" {
+		if err := writeStatsJSON(*statsJSON, kind.String(), bench, res); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// statsReport is the machine-readable form of the run: functional results
+// plus the full sim.RunStats, including the per-class latency/occupancy
+// histogram snapshot (Stats.Metrics) and per-bank accounting
+// (Stats.Device.PerBank, Stats.BankActPreNJ).
+type statsReport struct {
+	Design     string
+	Query      string
+	SQL        string
+	Rows       int
+	Aggregates []float64
+	Stats      sim.RunStats
+}
+
+func writeStatsJSON(path, designName string, q core.BenchQuery, r *sim.QueryResult) error {
+	out := statsReport{
+		Design:     designName,
+		Query:      q.Name,
+		SQL:        q.SQL,
+		Rows:       r.Rows,
+		Aggregates: r.Aggregates,
+		Stats:      r.Stats,
+	}
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(path, enc, 0o644)
 }
 
 func report(designName string, q core.BenchQuery, r *sim.QueryResult) {

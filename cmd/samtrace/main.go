@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -19,6 +20,7 @@ import (
 
 	"sam/internal/dram"
 	"sam/internal/mc"
+	"sam/internal/prof"
 	"sam/internal/stats"
 	"sam/internal/trace"
 )
@@ -30,12 +32,25 @@ func main() {
 	replay := flag.String("replay", "", "replay a trace file ('-' for stdin)")
 	rram := flag.Bool("rram", false, "replay against the RRAM personality")
 	seed := flag.Int64("seed", 1, "generator seed")
+	statsJSON := flag.String("stats-json", "", "write replay metrics as JSON to this file ('-' for stdout)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "samtrace:", err)
 		os.Exit(1)
 	}
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fail(err)
+		}
+	}()
 
 	var tr *trace.Trace
 	if *gen != "" {
@@ -68,7 +83,9 @@ func main() {
 				fail(err)
 			}
 		}
-		report(tr, *rram)
+		if err := report(tr, *rram, *statsJSON); err != nil {
+			fail(err)
+		}
 		return
 	}
 	fail(fmt.Errorf("nothing to do: pass -gen and/or -replay"))
@@ -102,15 +119,19 @@ func generate(kind string, n, stride int, seed int64) (*trace.Trace, error) {
 	return tr, nil
 }
 
-func report(tr *trace.Trace, rram bool) {
+func report(tr *trace.Trace, rram bool, statsJSON string) error {
 	cfg := dram.DDR4_2400()
 	if rram {
 		cfg = dram.RRAM()
 	}
 	dev := dram.NewDevice(cfg)
 	ctrl := mc.NewController(dev, mc.DefaultConfig())
-	ctrl.LatencyHist = stats.NewHistogram(25, 50, 75, 100, 150, 250, 500, 1000)
-	comps := trace.Replay(tr, ctrl)
+	reg := stats.NewRegistry()
+	ctrl.Metrics = mc.NewMetrics(reg)
+	comps, err := trace.Replay(tr, ctrl)
+	if err != nil {
+		return err
+	}
 
 	var end dram.Cycle
 	for _, c := range comps {
@@ -133,10 +154,42 @@ func report(tr *trace.Trace, rram bool) {
 			100*float64(st.RowMisses)/float64(total),
 			100*float64(st.RowEmpties)/float64(total))
 	}
-	if st.Reads > 0 {
-		fmt.Printf("read latency  mean %.1f, p50 <=%d, p99 <=%d cycles\n",
-			ctrl.LatencyHist.Mean(), ctrl.LatencyHist.Quantile(0.5), ctrl.LatencyHist.Quantile(0.99))
+	for _, class := range []struct {
+		name string
+		h    *stats.Histogram
+	}{
+		{"read.normal ", ctrl.Metrics.LatReadNormal},
+		{"read.stride ", ctrl.Metrics.LatReadStride},
+		{"write.normal", ctrl.Metrics.LatWriteNormal},
+		{"write.stride", ctrl.Metrics.LatWriteStride},
+	} {
+		if class.h.Total() == 0 {
+			continue
+		}
+		fmt.Printf("lat %s  n=%d mean %.1f, p50 <=%d, p99 <=%d cycles\n",
+			class.name, class.h.Total(), class.h.Mean(),
+			class.h.Quantile(0.5), class.h.Quantile(0.99))
 	}
 	fmt.Printf("device cmds   ACT=%d PRE=%d REF=%d modeSwitch=%d\n",
 		dev.Stats.Acts, dev.Stats.Pres, dev.Stats.Refs, dev.Stats.ModeSwitches)
+
+	if statsJSON != "" {
+		out := struct {
+			Device   string
+			Requests int
+			Cycles   dram.Cycle
+			Metrics  *stats.Snapshot
+		}{cfg.Name, len(comps), end, reg.Snapshot()}
+		enc, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		enc = append(enc, '\n')
+		if statsJSON == "-" {
+			_, err = os.Stdout.Write(enc)
+			return err
+		}
+		return os.WriteFile(statsJSON, enc, 0o644)
+	}
+	return nil
 }

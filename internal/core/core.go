@@ -139,6 +139,12 @@ type Par struct {
 	// Progress, when non-nil, receives (completed, total) after each
 	// simulation of the current sweep finishes. Calls are serialized.
 	Progress func(done, total int)
+	// Metrics, when non-nil, receives every run's full statistics as the
+	// driver aggregates its results. Calls happen in the driver's fixed
+	// aggregation order (never from worker goroutines), so the emission
+	// sequence is identical for any Workers value — the property the
+	// figure pipelines rely on to dump byte-identical metrics files.
+	Metrics func(figID, x, designName string, st sim.RunStats)
 }
 
 func (p Par) opts() runner.Options {

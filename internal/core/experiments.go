@@ -106,11 +106,17 @@ func Fig12(ctx context.Context, w Workload, par Par) (*Figure, error) {
 	var errs []error
 	for i, q := range queries {
 		base := grid[i][0]
+		if par.Metrics != nil {
+			par.Metrics("fig12", q.Name, design.Baseline.String(), base.Stats)
+		}
 		for j, k := range kinds {
 			r := grid[i][j+1]
 			if err := checkFunctional(q, k, base, r); err != nil {
 				errs = append(errs, err)
 				continue
+			}
+			if par.Metrics != nil {
+				par.Metrics("fig12", q.Name, k.String(), r.Stats)
 			}
 			sp := sim.Speedup(base.Stats, r.Stats)
 			fig.Cells = append(fig.Cells, Cell{X: q.Name, Design: k.String(), Value: sp})
@@ -415,6 +421,14 @@ func sweepDesignNames() []string {
 // returning speedups over the row-store baseline. The per-design runs
 // (baseline and ideal included) execute in parallel on the worker pool.
 func RunSweepPoint(ctx context.Context, p SweepPoint, records int, par Par) (map[string]float64, error) {
+	speedups, _, err := RunSweepPointStats(ctx, p, records, par)
+	return speedups, err
+}
+
+// RunSweepPointStats is RunSweepPoint plus the raw per-design run
+// statistics (keyed like the speedup map, with an extra "baseline" entry),
+// for pipelines that dump per-point metrics alongside the figure values.
+func RunSweepPointStats(ctx context.Context, p SweepPoint, records int, par Par) (map[string]float64, map[string]sim.RunStats, error) {
 	if p.Records > 0 {
 		records = p.Records
 	}
@@ -424,7 +438,7 @@ func RunSweepPoint(ctx context.Context, p SweepPoint, records int, par Par) (map
 	}
 	fields := rb / imdb.FieldBytes
 	if fields < 1 {
-		return nil, fmt.Errorf("core: record size %dB below one field", rb)
+		return nil, nil, fmt.Errorf("core: record size %dB below one field", rb)
 	}
 	if p.Projected > fields {
 		p.Projected = fields
@@ -484,10 +498,11 @@ func RunSweepPoint(ctx context.Context, p SweepPoint, records int, par Par) (map
 			return r, nil
 		})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	base := res[0]
 	out := map[string]float64{}
+	sts := map[string]sim.RunStats{"baseline": base.Stats}
 	var errs []error
 	for i, k := range SweepDesigns() {
 		r := res[i+1]
@@ -496,16 +511,18 @@ func RunSweepPoint(ctx context.Context, p SweepPoint, records int, par Par) (map
 			continue
 		}
 		out[k.String()] = sim.Speedup(base.Stats, r.Stats)
+		sts[k.String()] = r.Stats
 	}
 	if len(errs) > 0 {
-		return nil, errors.Join(errs...)
+		return nil, nil, errors.Join(errs...)
 	}
 	ideal := sim.Speedup(base.Stats, res[len(res)-1].Stats)
 	if ideal < 1 {
 		ideal = 1
 	}
 	out["ideal"] = ideal
-	return out, nil
+	sts["ideal"] = res[len(res)-1].Stats
+	return out, sts, nil
 }
 
 // Fig15Selectivities is the x axis of panels (a)-(c) and (g) — the paper
@@ -523,9 +540,14 @@ func Fig15RecordSizes() []int { return []int{8, 16, 32, 64, 128, 256, 512, 1024}
 // per-design runs fan out on an inner pool with the same worker bound.
 func sweepFigure(ctx context.Context, id string, points []SweepPoint, records int, labels func(i int) string, par Par) (*Figure, error) {
 	inner := Par{Workers: par.Workers} // progress reports whole points only
+	type pointResult struct {
+		speedups map[string]float64
+		stats    map[string]sim.RunStats
+	}
 	vals, err := runner.Map(ctx, points, par.opts(),
-		func(ctx context.Context, _ int, p SweepPoint) (map[string]float64, error) {
-			return RunSweepPoint(ctx, p, records, inner)
+		func(ctx context.Context, _ int, p SweepPoint) (pointResult, error) {
+			sp, st, err := RunSweepPointStats(ctx, p, records, inner)
+			return pointResult{sp, st}, err
 		})
 	if err != nil {
 		return nil, err
@@ -533,8 +555,14 @@ func sweepFigure(ctx context.Context, id string, points []SweepPoint, records in
 	fig := &Figure{ID: id}
 	for i := range points {
 		x := labels(i)
+		if par.Metrics != nil {
+			par.Metrics(id, x, "baseline", vals[i].stats["baseline"])
+		}
 		for _, d := range sweepDesignNames() {
-			fig.Cells = append(fig.Cells, Cell{X: x, Design: d, Value: vals[i][d]})
+			fig.Cells = append(fig.Cells, Cell{X: x, Design: d, Value: vals[i].speedups[d]})
+			if par.Metrics != nil {
+				par.Metrics(id, x, d, vals[i].stats[d])
+			}
 		}
 	}
 	return fig, nil

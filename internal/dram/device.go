@@ -12,6 +12,21 @@ type Cycle = int64
 // derived from it land far in the past.
 const never Cycle = math.MinInt64 / 4
 
+// BankStats is one bank's command accounting. Row hit/miss here is the
+// device-level view: a column access is a RowHit when it reuses a row a
+// previous column access already touched since its ACT, and a RowMiss when
+// it is the first access the activation was opened for — so RowMisses
+// tracks demanded activations and RowHits tracks row-buffer reuse,
+// independent of the controller's request-level hit classification.
+type BankStats struct {
+	Acts      uint64
+	Pres      uint64
+	Reads     uint64 // column read bursts (normal and stride)
+	Writes    uint64 // column write bursts (normal and stride)
+	RowHits   uint64
+	RowMisses uint64
+}
+
 // DeviceStats counts the command activity the power model consumes.
 type DeviceStats struct {
 	Acts, Pres, Refs     uint64
@@ -23,15 +38,96 @@ type DeviceStats struct {
 	BusBusyCycles        uint64
 	ColumnWordsFetched   uint64 // internal array words moved to I/O buffers
 	ColumnWordsRequested uint64 // words actually sent on the channel
+	// PerBank is per-bank accounting, indexed rank*BanksPerRank +
+	// group*BanksPerGroup + bank (see Device.BankIndex).
+	PerBank []BankStats
+}
+
+// Clone deep-copies the stats; plain struct assignment would alias the
+// PerBank slice, so baseline snapshots must use Clone.
+func (s DeviceStats) Clone() DeviceStats {
+	s.PerBank = append([]BankStats(nil), s.PerBank...)
+	return s
+}
+
+// Sub returns the per-run delta cur-minus-base.
+func (s DeviceStats) Sub(base DeviceStats) DeviceStats {
+	d := DeviceStats{
+		Acts:                 s.Acts - base.Acts,
+		Pres:                 s.Pres - base.Pres,
+		Refs:                 s.Refs - base.Refs,
+		Reads:                s.Reads - base.Reads,
+		Writes:               s.Writes - base.Writes,
+		StrideReads:          s.StrideReads - base.StrideReads,
+		StrideWrites:         s.StrideWrites - base.StrideWrites,
+		GangedBursts:         s.GangedBursts - base.GangedBursts,
+		ModeSwitches:         s.ModeSwitches - base.ModeSwitches,
+		BusBusyCycles:        s.BusBusyCycles - base.BusBusyCycles,
+		ColumnWordsFetched:   s.ColumnWordsFetched - base.ColumnWordsFetched,
+		ColumnWordsRequested: s.ColumnWordsRequested - base.ColumnWordsRequested,
+		PerBank:              append([]BankStats(nil), s.PerBank...),
+	}
+	for i := range d.PerBank {
+		if i >= len(base.PerBank) {
+			break
+		}
+		b := base.PerBank[i]
+		d.PerBank[i].Acts -= b.Acts
+		d.PerBank[i].Pres -= b.Pres
+		d.PerBank[i].Reads -= b.Reads
+		d.PerBank[i].Writes -= b.Writes
+		d.PerBank[i].RowHits -= b.RowHits
+		d.PerBank[i].RowMisses -= b.RowMisses
+	}
+	return d
+}
+
+// Add accumulates o into s (cross-channel aggregation); per-bank entries
+// add index-wise, growing s.PerBank as needed.
+func (s *DeviceStats) Add(o DeviceStats) {
+	s.Acts += o.Acts
+	s.Pres += o.Pres
+	s.Refs += o.Refs
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.StrideReads += o.StrideReads
+	s.StrideWrites += o.StrideWrites
+	s.GangedBursts += o.GangedBursts
+	s.ModeSwitches += o.ModeSwitches
+	s.BusBusyCycles += o.BusBusyCycles
+	s.ColumnWordsFetched += o.ColumnWordsFetched
+	s.ColumnWordsRequested += o.ColumnWordsRequested
+	for len(s.PerBank) < len(o.PerBank) {
+		s.PerBank = append(s.PerBank, BankStats{})
+	}
+	for i, b := range o.PerBank {
+		s.PerBank[i].Acts += b.Acts
+		s.PerBank[i].Pres += b.Pres
+		s.PerBank[i].Reads += b.Reads
+		s.PerBank[i].Writes += b.Writes
+		s.PerBank[i].RowHits += b.RowHits
+		s.PerBank[i].RowMisses += b.RowMisses
+	}
+}
+
+// PerBankActs extracts the per-bank activate counts (for the power model's
+// per-bank activation energy).
+func (s DeviceStats) PerBankActs() []uint64 {
+	acts := make([]uint64, len(s.PerBank))
+	for i, b := range s.PerBank {
+		acts[i] = b.Acts
+	}
+	return acts
 }
 
 type bankState struct {
-	open      bool
-	row       int
-	actAt     Cycle // last ACT issue
-	preDoneAt Cycle // precharge completes (ACT legal from here)
-	lastRdAt  Cycle // last RD issue to this bank
-	wrDataEnd Cycle // last write burst's final data cycle
+	open         bool
+	row          int
+	actAt        Cycle  // last ACT issue
+	preDoneAt    Cycle  // precharge completes (ACT legal from here)
+	lastRdAt     Cycle  // last RD issue to this bank
+	wrDataEnd    Cycle  // last write burst's final data cycle
+	colsSinceAct uint64 // column accesses served by the current activation
 }
 
 type groupState struct {
@@ -110,6 +206,7 @@ func NewDevice(cfg Config) *Device {
 		panic(err)
 	}
 	d := &Device{cfg: cfg, busOwnerRank: -1}
+	d.Stats.PerBank = make([]BankStats, cfg.Geometry.Ranks*cfg.Geometry.Banks())
 	d.ranks = make([]rankState, cfg.Geometry.Ranks)
 	for r := range d.ranks {
 		rs := &d.ranks[r]
@@ -152,6 +249,15 @@ func (d *Device) RefreshDue(rank int) Cycle { return d.ranks[rank].refDueAt }
 
 func (d *Device) bank(c Command) *bankState {
 	return &d.ranks[c.Rank].banks[c.Group*d.cfg.Geometry.BanksPerGroup+c.Bank]
+}
+
+// BankIndex flattens (rank, group, bank) into the PerBank index.
+func (d *Device) BankIndex(rank, group, bank int) int {
+	return rank*d.cfg.Geometry.Banks() + group*d.cfg.Geometry.BanksPerGroup + bank
+}
+
+func (d *Device) bankStats(c Command) *BankStats {
+	return &d.Stats.PerBank[d.BankIndex(c.Rank, c.Group, c.Bank)]
 }
 
 func max2(a, b Cycle) Cycle {
@@ -360,13 +466,20 @@ func (d *Device) Issue(cmd Command, at Cycle) IssueResult {
 		bk.row = cmd.Row
 		bk.actAt = at
 		bk.lastRdAt, bk.wrDataEnd = never, never
+		bk.colsSinceAct = 0
 		gs := &rk.groups[cmd.Group]
 		gs.lastActAt = max2(gs.lastActAt, at)
 		rk.lastActAt = max2(rk.lastActAt, at)
 		rk.recordAct(at)
 		d.Stats.Acts++
+		d.bankStats(cmd).Acts++
 		if cmd.GangRanks {
 			d.Stats.Acts++ // mirror rank activates too
+			for r := range d.ranks {
+				if r != cmd.Rank {
+					d.Stats.PerBank[d.BankIndex(r, cmd.Group, cmd.Bank)].Acts++
+				}
+			}
 		}
 		return IssueResult{Done: at + Cycle(t.TRCD)}
 	case CmdPRE:
@@ -377,6 +490,7 @@ func (d *Device) Issue(cmd Command, at Cycle) IssueResult {
 		bk.open = false
 		bk.preDoneAt = at + Cycle(t.TRP)
 		d.Stats.Pres++
+		d.bankStats(cmd).Pres++
 		return IssueResult{Done: bk.preDoneAt}
 	case CmdRD, CmdWR:
 		return d.issueColumn(cmd, at)
@@ -415,6 +529,19 @@ func (d *Device) issueColumn(cmd Command, at Cycle) IssueResult {
 	res := IssueResult{DataStart: at + lat}
 	res.DataEnd = res.DataStart + Cycle(t.TBL)
 	res.Done = res.DataEnd
+
+	bs := d.bankStats(cmd)
+	if bk.colsSinceAct > 0 {
+		bs.RowHits++
+	} else {
+		bs.RowMisses++
+	}
+	bk.colsSinceAct++
+	if cmd.Kind == CmdRD {
+		bs.Reads++
+	} else {
+		bs.Writes++
+	}
 
 	if d.modeSwitchNeeded(cmd) {
 		res.ModeSwitched = true
@@ -465,6 +592,7 @@ func (d *Device) issueColumn(cmd Command, at Cycle) IssueResult {
 		closeAt := maxN(at+Cycle(t.TRTP), bk.actAt+Cycle(t.TRAS), res.DataEnd+Cycle(t.TWR))
 		bk.preDoneAt = closeAt + Cycle(t.TRP)
 		d.Stats.Pres++
+		bs.Pres++
 	}
 	d.Stats.BusBusyCycles += uint64(t.TBL)
 	if res.DataEnd > d.busFreeAt {

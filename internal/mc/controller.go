@@ -48,6 +48,51 @@ type Stats struct {
 	BusCycleOfLastAccess dram.Cycle
 }
 
+// Sub returns the per-run delta cur-minus-base of the monotonic tallies.
+// MaxQueueOccupancy and BusCycleOfLastAccess are level values, not
+// counters, and carry over from s unchanged.
+func (s Stats) Sub(base Stats) Stats {
+	return Stats{
+		Reads:                s.Reads - base.Reads,
+		Writes:               s.Writes - base.Writes,
+		RowHits:              s.RowHits - base.RowHits,
+		RowMisses:            s.RowMisses - base.RowMisses,
+		RowEmpties:           s.RowEmpties - base.RowEmpties,
+		Refreshes:            s.Refreshes - base.Refreshes,
+		WriteDrains:          s.WriteDrains - base.WriteDrains,
+		TotalReadLatency:     s.TotalReadLatency - base.TotalReadLatency,
+		MaxQueueOccupancy:    s.MaxQueueOccupancy,
+		IssuedCommands:       s.IssuedCommands - base.IssuedCommands,
+		StrideAccesses:       s.StrideAccesses - base.StrideAccesses,
+		ModeSwitches:         s.ModeSwitches - base.ModeSwitches,
+		StarvationBreaks:     s.StarvationBreaks - base.StarvationBreaks,
+		BusCycleOfLastAccess: s.BusCycleOfLastAccess,
+	}
+}
+
+// Add accumulates o into s (cross-channel aggregation): tallies sum, level
+// values take the maximum.
+func (s *Stats) Add(o Stats) {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.RowHits += o.RowHits
+	s.RowMisses += o.RowMisses
+	s.RowEmpties += o.RowEmpties
+	s.Refreshes += o.Refreshes
+	s.WriteDrains += o.WriteDrains
+	s.TotalReadLatency += o.TotalReadLatency
+	s.IssuedCommands += o.IssuedCommands
+	s.StrideAccesses += o.StrideAccesses
+	s.ModeSwitches += o.ModeSwitches
+	s.StarvationBreaks += o.StarvationBreaks
+	if o.MaxQueueOccupancy > s.MaxQueueOccupancy {
+		s.MaxQueueOccupancy = o.MaxQueueOccupancy
+	}
+	if o.BusCycleOfLastAccess > s.BusCycleOfLastAccess {
+		s.BusCycleOfLastAccess = o.BusCycleOfLastAccess
+	}
+}
+
 // Controller schedules requests onto one dram.Device with FR-FCFS and an
 // open-page policy. It is single-channel, matching the paper's setup; the
 // simulator instantiates one per channel.
@@ -68,9 +113,68 @@ type Controller struct {
 	// Audit, when set, receives every issued command (tests use this to
 	// verify protocol legality end to end).
 	Audit *dram.Auditor
-	// LatencyHist, when set, observes every read's arrival-to-data-end
-	// latency in bus cycles.
-	LatencyHist *stats.Histogram
+	// Metrics, when set, observes per-request-class latency and queue
+	// occupancy distributions (see NewMetrics).
+	Metrics *Metrics
+}
+
+// LatencyBounds are the default request-latency bucket upper bounds in bus
+// cycles: the low buckets resolve row-hit service, the tail captures
+// refresh and drain stalls.
+func LatencyBounds() []uint64 {
+	return []uint64{25, 50, 75, 100, 150, 250, 500, 1000, 2500, 5000, 10000}
+}
+
+// OccupancyBounds are the default queue-occupancy bucket upper bounds,
+// sized to the Table 2 queue capacities.
+func OccupancyBounds() []uint64 {
+	return []uint64{1, 2, 4, 8, 16, 32, 64}
+}
+
+// Metrics bundles the controller's distribution instruments. All are
+// created in the caller's stats.Registry under stable "mc."-prefixed
+// names, so per-run registries snapshot and merge deterministically:
+//
+//	mc.lat.read.normal / mc.lat.read.stride   arrival -> data-end latency
+//	mc.lat.write.normal / mc.lat.write.stride (bus cycles, per class)
+//	mc.queue.read / mc.queue.write            queue occupancy at enqueue
+//
+// One Metrics may be shared by several controllers (the simulator attaches
+// the same instance to every channel of a single-threaded run).
+type Metrics struct {
+	LatReadNormal  *stats.Histogram
+	LatReadStride  *stats.Histogram
+	LatWriteNormal *stats.Histogram
+	LatWriteStride *stats.Histogram
+	QueueRead      *stats.Histogram
+	QueueWrite     *stats.Histogram
+}
+
+// NewMetrics registers the controller instruments in reg.
+func NewMetrics(reg *stats.Registry) *Metrics {
+	lat, occ := LatencyBounds(), OccupancyBounds()
+	return &Metrics{
+		LatReadNormal:  reg.Histogram("mc.lat.read.normal", lat...),
+		LatReadStride:  reg.Histogram("mc.lat.read.stride", lat...),
+		LatWriteNormal: reg.Histogram("mc.lat.write.normal", lat...),
+		LatWriteStride: reg.Histogram("mc.lat.write.stride", lat...),
+		QueueRead:      reg.Histogram("mc.queue.read", occ...),
+		QueueWrite:     reg.Histogram("mc.queue.write", occ...),
+	}
+}
+
+// latency picks the instrument for a request's class.
+func (m *Metrics) latency(isWrite, stride bool) *stats.Histogram {
+	switch {
+	case isWrite && stride:
+		return m.LatWriteStride
+	case isWrite:
+		return m.LatWriteNormal
+	case stride:
+		return m.LatReadStride
+	default:
+		return m.LatReadNormal
+	}
 }
 
 // Config tunes the controller.
@@ -131,6 +235,13 @@ func (c *Controller) Enqueue(r Request) {
 	if occ := c.Pending(); occ > c.Stats.MaxQueueOccupancy {
 		c.Stats.MaxQueueOccupancy = occ
 	}
+	if c.Metrics != nil {
+		if r.IsWrite {
+			c.Metrics.QueueWrite.Observe(uint64(len(c.writeQ)))
+		} else {
+			c.Metrics.QueueRead.Observe(uint64(len(c.readQ)))
+		}
+	}
 }
 
 // Now returns the controller's current time.
@@ -157,11 +268,10 @@ func (c *Controller) ServiceOne() (Completion, bool) {
 		c.Stats.Writes++
 	} else {
 		c.Stats.Reads++
-		lat := uint64(comp.DataEnd - req.Arrival)
-		c.Stats.TotalReadLatency += lat
-		if c.LatencyHist != nil {
-			c.LatencyHist.Observe(lat)
-		}
+		c.Stats.TotalReadLatency += uint64(comp.DataEnd - req.Arrival)
+	}
+	if c.Metrics != nil {
+		c.Metrics.latency(req.IsWrite, req.Stride).Observe(uint64(comp.DataEnd - req.Arrival))
 	}
 	if req.Stride {
 		c.Stats.StrideAccesses++

@@ -389,7 +389,8 @@ func TestInterleaveChangesBankConflictBehavior(t *testing.T) {
 
 func TestLatencyHistogram(t *testing.T) {
 	c := newTestController()
-	c.LatencyHist = stats.NewHistogram(20, 50, 100, 500)
+	reg := stats.NewRegistry()
+	c.Metrics = NewMetrics(reg)
 	for i := 0; i < 100; i++ {
 		c.Enqueue(Request{ID: uint64(i), Addr: uint64(i) * 4096, Arrival: dram.Cycle(i * 2)})
 		if i%8 == 7 {
@@ -399,11 +400,59 @@ func TestLatencyHistogram(t *testing.T) {
 		}
 	}
 	c.Drain()
-	if c.LatencyHist.Total() != 100 {
-		t.Fatalf("histogram saw %d reads", c.LatencyHist.Total())
+	// All 100 requests are normal reads: they land in exactly one class.
+	h := c.Metrics.LatReadNormal
+	if h.Total() != 100 {
+		t.Fatalf("read.normal histogram saw %d requests, want 100", h.Total())
 	}
-	if c.LatencyHist.Mean() <= 0 || c.LatencyHist.Quantile(0.99) < c.LatencyHist.Quantile(0.5) {
+	for name, other := range map[string]*stats.Histogram{
+		"read.stride":  c.Metrics.LatReadStride,
+		"write.normal": c.Metrics.LatWriteNormal,
+		"write.stride": c.Metrics.LatWriteStride,
+	} {
+		if other.Total() != 0 {
+			t.Fatalf("class %s saw %d requests, want 0", name, other.Total())
+		}
+	}
+	if h.Mean() <= 0 || h.Quantile(0.99) < h.Quantile(0.5) {
 		t.Fatal("histogram statistics degenerate")
+	}
+	// Every Enqueue observed the post-enqueue read-queue depth.
+	if got := c.Metrics.QueueRead.Total(); got != 100 {
+		t.Fatalf("queue occupancy histogram saw %d enqueues, want 100", got)
+	}
+	if c.Metrics.QueueWrite.Total() != 0 {
+		t.Fatal("write-queue histogram saw read traffic")
+	}
+}
+
+func TestMetricsClassSplit(t *testing.T) {
+	// One request of each class must land in its own histogram.
+	c := newTestController()
+	c.Metrics = NewMetrics(stats.NewRegistry())
+	reqs := []Request{
+		{ID: 0, Addr: 0x0000},
+		{ID: 1, Addr: 0x4000, Stride: true},
+		{ID: 2, Addr: 0x8000, IsWrite: true},
+		{ID: 3, Addr: 0xc000, IsWrite: true, Stride: true},
+	}
+	for _, r := range reqs {
+		c.Enqueue(r)
+	}
+	c.Drain()
+	for name, h := range map[string]*stats.Histogram{
+		"read.normal":  c.Metrics.LatReadNormal,
+		"read.stride":  c.Metrics.LatReadStride,
+		"write.normal": c.Metrics.LatWriteNormal,
+		"write.stride": c.Metrics.LatWriteStride,
+	} {
+		if h.Total() != 1 {
+			t.Fatalf("class %s saw %d requests, want 1", name, h.Total())
+		}
+	}
+	if c.Metrics.QueueRead.Total() != 2 || c.Metrics.QueueWrite.Total() != 2 {
+		t.Fatalf("queue histograms saw %d/%d enqueues, want 2/2",
+			c.Metrics.QueueRead.Total(), c.Metrics.QueueWrite.Total())
 	}
 }
 

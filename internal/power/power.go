@@ -101,7 +101,6 @@ func (m Model) Energy(a Activity) Breakdown {
 	chips := float64(m.Chips)
 	toNJ := 1e-3 // mA * V * ns = pJ; 1e-3 pJ->nJ
 
-	actE := (m.Regular.IDD0 - m.Regular.IDD3N) * m.VDD * float64(m.TRC) * ns * chips * toNJ
 	rdE := (m.Regular.IDD4R - m.Regular.IDD3N) * m.VDD * float64(m.TBL) * ns * chips * toNJ
 	wrE := (m.Regular.IDD4W - m.Regular.IDD3N) * m.VDD * float64(m.TBL) * ns * chips * toNJ
 	srdE := (m.Stride.IDD4R - m.Stride.IDD3N) * m.VDD * float64(m.TBL) * ns * chips * toNJ
@@ -110,12 +109,32 @@ func (m Model) Energy(a Activity) Breakdown {
 	bgP := m.Regular.IDD3N * m.VDD * m.BackgroundScale * chips // mW
 
 	var b Breakdown
-	b.ActPre = float64(a.Acts) * actE * m.ActChipFraction
+	b.ActPre = float64(a.Acts) * m.ActPreEnergyNJ()
 	b.RdWr = float64(a.Reads)*rdE + float64(a.Writes)*wrE +
 		float64(a.StrideReads)*srdE + float64(a.StrideWrites)*swrE
 	b.Refresh = float64(a.Refreshes) * refE
 	b.Background = bgP * float64(a.Cycles) * ns * toNJ
 	return b
+}
+
+// ActPreEnergyNJ returns the activate/precharge-cycle energy of one ACT in
+// nanojoules — the per-event cost Energy charges to Breakdown.ActPre,
+// including the fine-grained-activation scaling.
+func (m Model) ActPreEnergyNJ() float64 {
+	return (m.Regular.IDD0 - m.Regular.IDD3N) * m.VDD * float64(m.TRC) * m.nsPerCycle() *
+		float64(m.Chips) * 1e-3 * m.ActChipFraction
+}
+
+// PerBankActPre converts per-bank activate counts into per-bank activation
+// energy in nanojoules — the spatial split of Breakdown.ActPre that the
+// per-bank accounting in internal/dram feeds.
+func (m Model) PerBankActPre(acts []uint64) []float64 {
+	e := m.ActPreEnergyNJ()
+	out := make([]float64, len(acts))
+	for i, n := range acts {
+		out[i] = float64(n) * e
+	}
+	return out
 }
 
 // AveragePowerMW converts a breakdown back to average power over the run.

@@ -131,3 +131,32 @@ func TestBackgroundScale(t *testing.T) {
 		t.Fatalf("background scale ratio %v, want 1.02", ratio)
 	}
 }
+
+func TestPerBankActPreSumsToBreakdown(t *testing.T) {
+	// The spatial split must reconstruct Breakdown.ActPre exactly: one ACT
+	// costs ActPreEnergyNJ, and per-bank energies sum to the total.
+	m := DDR4Model(18)
+	if e := m.ActPreEnergyNJ(); e <= 0 {
+		t.Fatalf("per-ACT energy %v, want > 0", e)
+	}
+	acts := []uint64{5, 0, 12, 3}
+	var total uint64
+	for _, n := range acts {
+		total += n
+	}
+	b := m.Energy(Activity{Acts: total})
+	per := m.PerBankActPre(acts)
+	if len(per) != len(acts) {
+		t.Fatalf("per-bank length %d, want %d", len(per), len(acts))
+	}
+	var sum float64
+	for i, e := range per {
+		if acts[i] == 0 && e != 0 {
+			t.Fatalf("idle bank %d charged %v nJ", i, e)
+		}
+		sum += e
+	}
+	if math.Abs(sum-b.ActPre) > 1e-9*b.ActPre {
+		t.Fatalf("per-bank sum %v != breakdown ActPre %v", sum, b.ActPre)
+	}
+}

@@ -1,0 +1,52 @@
+// Package prof wraps runtime/pprof for the command-line tools: one call
+// starts CPU profiling, and the returned stop function finishes the CPU
+// profile and writes a heap profile. Either path may be empty to skip
+// that profile.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling. cpuPath, when non-empty, receives a CPU profile
+// covering the time until stop is called; memPath, when non-empty, receives
+// a heap profile taken at stop time (after a GC, so it reflects live
+// objects rather than garbage). The returned stop function is safe to call
+// exactly once and must be called even on error paths that reach it, or the
+// CPU profile will be truncated.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize live-object statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("prof: write heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -9,6 +9,7 @@ import (
 	"sam/internal/ecc"
 	"sam/internal/mc"
 	"sam/internal/power"
+	"sam/internal/stats"
 	"sam/internal/trace"
 )
 
@@ -35,6 +36,11 @@ type engine struct {
 	devBase []dram.DeviceStats
 	ctlBase []mc.Stats
 
+	// reg collects this run's distribution instruments. A fresh registry
+	// (and mc.Metrics) is attached per run, so histograms need no baseline
+	// subtraction — they are exactly this run's observations.
+	reg *stats.Registry
+
 	strideFetches uint64 // for the embedded-ECC read period
 	regularFills  uint64 // for embedded-ECC overhead on regular fills
 
@@ -52,13 +58,21 @@ func newEngine(s *System) *engine {
 		e.faultCodec = ecc.NewChipkill(s.Design.Chipkill)
 		e.faultRng = rand.New(rand.NewSource(int64(s.Faults.Seed) + 1))
 	}
+	e.reg = stats.NewRegistry()
+	// All channels share one instrument set: the engine services channels
+	// from a single goroutine, and a cross-channel latency distribution is
+	// what the run-level histograms mean.
+	m := mc.NewMetrics(e.reg)
 	for ch := 0; ch < s.Channels(); ch++ {
 		cs := s.controllers[ch].Stats
 		if cs.BusCycleOfLastAccess > e.t0 {
 			e.t0 = cs.BusCycleOfLastAccess
 		}
-		e.devBase = append(e.devBase, s.devices[ch].Stats)
+		// Clone: DeviceStats carries the per-bank slice, and an aliased
+		// baseline would track the live stats and zero every delta.
+		e.devBase = append(e.devBase, s.devices[ch].Stats.Clone())
 		e.ctlBase = append(e.ctlBase, cs)
+		s.controllers[ch].Metrics = m
 	}
 	return e
 }
@@ -261,8 +275,8 @@ func (e *engine) finish() RunStats {
 		if cs.BusCycleOfLastAccess > end {
 			end = cs.BusCycleOfLastAccess
 		}
-		addDeviceStats(&dev, subDeviceStats(e.sys.devices[ch].Stats, e.devBase[ch]))
-		addControllerStats(&ctl, subControllerStats(cs, e.ctlBase[ch]))
+		dev.Add(e.sys.devices[ch].Stats.Sub(e.devBase[ch]))
+		ctl.Add(cs.Sub(e.ctlBase[ch]))
 	}
 	end -= e.t0
 	act := power.Activity{
@@ -276,94 +290,20 @@ func (e *engine) finish() RunStats {
 		Cycles: uint64(end) * uint64(e.sys.Channels()),
 	}
 	energy := e.sys.Design.Power.Energy(act)
-	stats := RunStats{
-		Cycles:      end,
-		MemRequests: ctl.Reads + ctl.Writes,
-		Energy:      energy,
-		PowerMW:     e.sys.Design.Power.AveragePowerMW(energy, uint64(end)),
-		Device:      dev,
-		Controller:  ctl,
+	rs := RunStats{
+		Cycles:       end,
+		MemRequests:  ctl.Reads + ctl.Writes,
+		Energy:       energy,
+		PowerMW:      e.sys.Design.Power.AveragePowerMW(energy, uint64(end)),
+		Device:       dev,
+		Controller:   ctl,
+		BankActPreNJ: e.sys.Design.Power.PerBankActPre(dev.PerBankActs()),
+		Metrics:      e.reg.Snapshot(),
 	}
 	if hits, misses := ctl.RowHits, ctl.RowMisses+ctl.RowEmpties; hits+misses > 0 {
-		stats.RowHitRate = float64(hits) / float64(hits+misses)
+		rs.RowHitRate = float64(hits) / float64(hits+misses)
 	}
-	stats.CorrectedBursts = e.corrected
-	stats.UncorrectableBursts = e.uncorrectable
-	return stats
-}
-
-// subDeviceStats returns the per-run delta of device activity.
-func subDeviceStats(cur, base dram.DeviceStats) dram.DeviceStats {
-	return dram.DeviceStats{
-		Acts:                 cur.Acts - base.Acts,
-		Pres:                 cur.Pres - base.Pres,
-		Refs:                 cur.Refs - base.Refs,
-		Reads:                cur.Reads - base.Reads,
-		Writes:               cur.Writes - base.Writes,
-		StrideReads:          cur.StrideReads - base.StrideReads,
-		StrideWrites:         cur.StrideWrites - base.StrideWrites,
-		GangedBursts:         cur.GangedBursts - base.GangedBursts,
-		ModeSwitches:         cur.ModeSwitches - base.ModeSwitches,
-		BusBusyCycles:        cur.BusBusyCycles - base.BusBusyCycles,
-		ColumnWordsFetched:   cur.ColumnWordsFetched - base.ColumnWordsFetched,
-		ColumnWordsRequested: cur.ColumnWordsRequested - base.ColumnWordsRequested,
-	}
-}
-
-// subControllerStats returns the per-run delta of controller activity.
-func subControllerStats(cur, base mc.Stats) mc.Stats {
-	return mc.Stats{
-		Reads:                cur.Reads - base.Reads,
-		Writes:               cur.Writes - base.Writes,
-		RowHits:              cur.RowHits - base.RowHits,
-		RowMisses:            cur.RowMisses - base.RowMisses,
-		RowEmpties:           cur.RowEmpties - base.RowEmpties,
-		Refreshes:            cur.Refreshes - base.Refreshes,
-		WriteDrains:          cur.WriteDrains - base.WriteDrains,
-		TotalReadLatency:     cur.TotalReadLatency - base.TotalReadLatency,
-		MaxQueueOccupancy:    cur.MaxQueueOccupancy,
-		IssuedCommands:       cur.IssuedCommands - base.IssuedCommands,
-		StrideAccesses:       cur.StrideAccesses - base.StrideAccesses,
-		ModeSwitches:         cur.ModeSwitches - base.ModeSwitches,
-		StarvationBreaks:     cur.StarvationBreaks - base.StarvationBreaks,
-		BusCycleOfLastAccess: cur.BusCycleOfLastAccess,
-	}
-}
-
-// addDeviceStats accumulates per-channel device activity.
-func addDeviceStats(dst *dram.DeviceStats, s dram.DeviceStats) {
-	dst.Acts += s.Acts
-	dst.Pres += s.Pres
-	dst.Refs += s.Refs
-	dst.Reads += s.Reads
-	dst.Writes += s.Writes
-	dst.StrideReads += s.StrideReads
-	dst.StrideWrites += s.StrideWrites
-	dst.GangedBursts += s.GangedBursts
-	dst.ModeSwitches += s.ModeSwitches
-	dst.BusBusyCycles += s.BusBusyCycles
-	dst.ColumnWordsFetched += s.ColumnWordsFetched
-	dst.ColumnWordsRequested += s.ColumnWordsRequested
-}
-
-// addControllerStats accumulates per-channel controller activity.
-func addControllerStats(dst *mc.Stats, s mc.Stats) {
-	dst.Reads += s.Reads
-	dst.Writes += s.Writes
-	dst.RowHits += s.RowHits
-	dst.RowMisses += s.RowMisses
-	dst.RowEmpties += s.RowEmpties
-	dst.Refreshes += s.Refreshes
-	dst.WriteDrains += s.WriteDrains
-	dst.TotalReadLatency += s.TotalReadLatency
-	dst.IssuedCommands += s.IssuedCommands
-	dst.StrideAccesses += s.StrideAccesses
-	dst.ModeSwitches += s.ModeSwitches
-	dst.StarvationBreaks += s.StarvationBreaks
-	if s.MaxQueueOccupancy > dst.MaxQueueOccupancy {
-		dst.MaxQueueOccupancy = s.MaxQueueOccupancy
-	}
-	if s.BusCycleOfLastAccess > dst.BusCycleOfLastAccess {
-		dst.BusCycleOfLastAccess = s.BusCycleOfLastAccess
-	}
+	rs.CorrectedBursts = e.corrected
+	rs.UncorrectableBursts = e.uncorrectable
+	return rs
 }

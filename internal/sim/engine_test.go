@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"encoding/json"
 	"testing"
 
 	"sam/internal/cache"
@@ -93,19 +94,93 @@ func TestInjectFaultPolicies(t *testing.T) {
 
 func TestStatsDeltaHelpers(t *testing.T) {
 	a := engineFor(design.Baseline)
-	cur := a.sys.devices[0].Stats
+	cur := a.sys.devices[0].Stats.Clone()
 	cur.Reads = 10
 	cur.Acts = 4
-	base := cur
+	cur.PerBank[0].Acts = 4
+	base := cur.Clone()
 	base.Reads = 3
 	base.Acts = 1
-	d := subDeviceStats(cur, base)
-	if d.Reads != 7 || d.Acts != 3 {
+	base.PerBank[0].Acts = 1
+	d := cur.Sub(base)
+	if d.Reads != 7 || d.Acts != 3 || d.PerBank[0].Acts != 3 {
 		t.Fatalf("device delta: %+v", d)
 	}
-	var sum = d
-	addDeviceStats(&sum, d)
-	if sum.Reads != 14 {
+	sum := d.Clone()
+	sum.Add(d)
+	if sum.Reads != 14 || sum.PerBank[0].Acts != 6 {
 		t.Fatalf("device sum: %+v", sum)
+	}
+	if base.PerBank[0].Acts != 1 {
+		t.Fatalf("baseline aliased the per-bank slice: %+v", base.PerBank[0])
+	}
+}
+
+func TestRunStatsObservability(t *testing.T) {
+	d := design.New(design.SAMEn, design.Options{})
+	s := NewSystem(d)
+	s.AddTable(imdb.NewTable(imdb.Ta(512), 3), false)
+	r, err := s.RunQuery("SELECT SUM(f9) FROM Ta WHERE f10 > 1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats
+	if st.Metrics == nil {
+		t.Fatal("run produced no metrics snapshot")
+	}
+	// The strided design issues both classes of read; every class that saw
+	// traffic must be a registered histogram, and total latency
+	// observations must cover every memory request.
+	var latTotal uint64
+	for _, name := range []string{
+		"mc.lat.read.normal", "mc.lat.read.stride",
+		"mc.lat.write.normal", "mc.lat.write.stride",
+	} {
+		h, ok := st.Metrics.Histograms[name]
+		if !ok {
+			t.Fatalf("histogram %s not in snapshot (have %v)", name, st.Metrics.Names())
+		}
+		latTotal += h.Total
+	}
+	if latTotal != st.MemRequests {
+		t.Fatalf("latency observations %d != memory requests %d", latTotal, st.MemRequests)
+	}
+	if st.Metrics.Histograms["mc.lat.read.stride"].Total == 0 {
+		t.Fatal("SAM-en run recorded no strided reads")
+	}
+	// Per-bank accounting: sums must match the device-wide tallies, and
+	// the per-bank energy split must cover the ActPre total.
+	var acts, hits uint64
+	for _, b := range st.Device.PerBank {
+		acts += b.Acts
+		hits += b.RowHits
+	}
+	if acts != st.Device.Acts {
+		t.Fatalf("per-bank Acts sum %d != device Acts %d", acts, st.Device.Acts)
+	}
+	if acts > 0 && hits == 0 {
+		t.Fatal("streaming scan recorded no per-bank row hits")
+	}
+	if len(st.BankActPreNJ) != len(st.Device.PerBank) {
+		t.Fatalf("BankActPreNJ length %d != PerBank length %d", len(st.BankActPreNJ), len(st.Device.PerBank))
+	}
+	var bankE float64
+	for _, e := range st.BankActPreNJ {
+		bankE += e
+	}
+	if diff := bankE - st.Energy.ActPre; diff > 1e-6*st.Energy.ActPre || diff < -1e-6*st.Energy.ActPre {
+		t.Fatalf("per-bank ActPre %v != breakdown ActPre %v", bankE, st.Energy.ActPre)
+	}
+	// The whole report must serialize to valid, round-trippable JSON.
+	enc, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunStats
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatalf("run stats JSON does not round-trip: %v", err)
+	}
+	if back.Metrics == nil || back.Metrics.Histograms["mc.lat.read.stride"].Total != st.Metrics.Histograms["mc.lat.read.stride"].Total {
+		t.Fatal("metrics lost in JSON round trip")
 	}
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"reflect"
 	"testing"
 
 	"sam/internal/design"
@@ -96,7 +97,7 @@ func TestDeterminism(t *testing.T) {
 	if a.Stats.Energy.Total() != b.Stats.Energy.Total() {
 		t.Fatal("energy differs between identical runs")
 	}
-	if a.Stats.Device != b.Stats.Device {
+	if !reflect.DeepEqual(a.Stats.Device, b.Stats.Device) {
 		t.Fatalf("device stats differ: %+v vs %+v", a.Stats.Device, b.Stats.Device)
 	}
 }

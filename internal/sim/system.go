@@ -15,6 +15,7 @@ import (
 	"sam/internal/imdb"
 	"sam/internal/mc"
 	"sam/internal/power"
+	"sam/internal/stats"
 	"sam/internal/trace"
 )
 
@@ -176,6 +177,12 @@ type RunStats struct {
 	PowerMW     power.Breakdown
 	Device      dram.DeviceStats
 	Controller  mc.Stats
+	// BankActPreNJ is per-bank activation energy in nanojoules — the
+	// spatial split of Energy.ActPre, indexed like Device.PerBank.
+	BankActPreNJ []float64
+	// Metrics is the run's instrument snapshot: per-class request-latency
+	// and queue-occupancy histograms (see mc.NewMetrics for the names).
+	Metrics *stats.Snapshot
 	// Fault-injection outcomes (zero unless System.Faults is set).
 	CorrectedBursts     uint64
 	UncorrectableBursts uint64

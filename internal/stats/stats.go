@@ -35,8 +35,15 @@ type Gauge struct {
 	samples            uint64
 }
 
-// Set records a new sample.
+// Set records a new sample. Only finite samples are recorded: NaN and
+// ±Inf are ignored entirely (no field is touched), so Min/Max/Mean and
+// Samples always describe the same finite sample set. Before this
+// contract a NaN sample failed both min/max comparisons (leaving them
+// stale) while still poisoning the running sum.
 func (g *Gauge) Set(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
 	g.cur = v
 	if g.samples == 0 || v < g.min {
 		g.min = v
@@ -65,8 +72,11 @@ func (g *Gauge) Mean() float64 {
 	return g.sum / float64(g.samples)
 }
 
-// Samples returns how many times Set was called.
+// Samples returns how many recorded (finite) samples Set has seen.
 func (g *Gauge) Samples() uint64 { return g.samples }
+
+// Sum returns the running sum of all recorded samples.
+func (g *Gauge) Sum() float64 { return g.sum }
 
 // Histogram is a fixed-bucket histogram for latency-style distributions.
 type Histogram struct {
@@ -97,6 +107,16 @@ func (h *Histogram) Observe(v uint64) {
 
 // Total returns the number of observations.
 func (h *Histogram) Total() uint64 { return h.total }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Bounds returns a copy of the bucket upper bounds.
+func (h *Histogram) Bounds() []uint64 { return append([]uint64(nil), h.bounds...) }
+
+// Counts returns a copy of the per-bucket counts (len(Bounds())+1 entries;
+// the final bucket is the implicit +Inf overflow bucket).
+func (h *Histogram) Counts() []uint64 { return append([]uint64(nil), h.counts...) }
 
 // Max returns the largest observation.
 func (h *Histogram) Max() uint64 { return h.max }

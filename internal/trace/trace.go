@@ -9,6 +9,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"sam/internal/dram"
@@ -108,6 +109,13 @@ func Read(r io.Reader) (*Trace, error) {
 	return t, nil
 }
 
+// parseLine parses one trace line strictly: every token must be consumed
+// in full (earlier fmt.Sscanf parsing silently ignored trailing garbage,
+// so "lane=3junk" and "@12x" were accepted), duplicate fields are
+// rejected instead of last-wins, lane/gang are only legal on strided
+// records, and the arrival timestamp is mandatory. The accepted grammar
+// is exactly the output of Record.String, so parseLine(rec.String())
+// round-trips for every representable record.
 func parseLine(text string) (Record, error) {
 	fields := strings.Fields(text)
 	if len(fields) < 3 {
@@ -125,42 +133,78 @@ func parseLine(text string) (Record, error) {
 	default:
 		return Record{}, fmt.Errorf("unknown kind %q", fields[0])
 	}
-	if _, err := fmt.Sscanf(fields[1], "0x%x", &rec.Addr); err != nil {
-		return Record{}, fmt.Errorf("bad address %q", fields[1])
+	addr := fields[1]
+	if !strings.HasPrefix(addr, "0x") {
+		return Record{}, fmt.Errorf("bad address %q (want 0x-prefixed hex)", addr)
 	}
+	v, err := strconv.ParseUint(addr[2:], 16, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("bad address %q", addr)
+	}
+	rec.Addr = v
+	var haveLane, haveGang, haveArrival bool
 	for _, f := range fields[2:] {
 		switch {
 		case strings.HasPrefix(f, "lane="):
-			if _, err := fmt.Sscanf(f, "lane=%d", &rec.Lane); err != nil {
+			if !rec.Stride {
+				return Record{}, fmt.Errorf("lane on non-strided record %q", text)
+			}
+			if haveLane {
+				return Record{}, fmt.Errorf("duplicate lane in %q", text)
+			}
+			lane, err := strconv.ParseUint(f[len("lane="):], 10, 31)
+			if err != nil {
 				return Record{}, fmt.Errorf("bad lane %q", f)
 			}
+			rec.Lane = int(lane)
+			haveLane = true
 		case f == "gang":
+			if !rec.Stride {
+				return Record{}, fmt.Errorf("gang on non-strided record %q", text)
+			}
+			if haveGang {
+				return Record{}, fmt.Errorf("duplicate gang in %q", text)
+			}
 			rec.Gang = true
+			haveGang = true
 		case strings.HasPrefix(f, "@"):
-			if _, err := fmt.Sscanf(f, "@%d", &rec.Arrival); err != nil {
+			if haveArrival {
+				return Record{}, fmt.Errorf("duplicate arrival in %q", text)
+			}
+			at, err := strconv.ParseUint(f[1:], 10, 63)
+			if err != nil {
 				return Record{}, fmt.Errorf("bad arrival %q", f)
 			}
+			rec.Arrival = dram.Cycle(at)
+			haveArrival = true
 		default:
 			return Record{}, fmt.Errorf("unknown field %q", f)
 		}
+	}
+	if !haveArrival {
+		return Record{}, fmt.Errorf("missing @arrival in %q", text)
 	}
 	return rec, nil
 }
 
 // Replay pushes the trace through a controller and returns the completions.
-// Queue back-pressure is handled by servicing in between.
-func Replay(t *Trace, c *mc.Controller) []mc.Completion {
+// Queue back-pressure is handled by servicing in between: while the
+// controller cannot accept the next record it services queued requests. If
+// the controller reports nothing to service while still refusing the
+// record, Replay returns an error with the completions so far — the old
+// behaviour broke out of the loop and enqueued anyway, silently pushing
+// past queue capacity (which the controller now treats as a caller bug).
+func Replay(t *Trace, c *mc.Controller) ([]mc.Completion, error) {
 	var comps []mc.Completion
 	for i, rec := range t.Records {
 		for !c.CanAccept(rec.IsWrite) {
 			comp, ok := c.ServiceOne()
 			if !ok {
-				break
+				return comps, fmt.Errorf("trace: record %d: controller at capacity with nothing to service", i)
 			}
 			comps = append(comps, comp)
 		}
 		c.Enqueue(rec.Request(uint64(i)))
 	}
-	comps = append(comps, c.Drain()...)
-	return comps
+	return append(comps, c.Drain()...), nil
 }

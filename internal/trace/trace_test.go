@@ -65,12 +65,82 @@ func TestTraceParseErrors(t *testing.T) {
 		"R 0x1000 lane=z @5",
 		"R 0x1000 mystery @5",
 		"R 0x1000",
+		// Strict-token violations the old Sscanf parser accepted.
+		"S 0x1000 lane=3junk @5",
+		"R 0x1000 @12x",
+		"R 0x1000x @5",
+		"S 0x1000 lane=1 lane=2 @5",
+		"S 0x1000 gang gang @5",
+		"R 0x1000 @5 @6",
+		"S 0x1000 lane=-1 @5",
+		"R 0x1000 @-5",
+		// Fields only legal on strided records, and a missing arrival.
+		"R 0x1000 lane=1 @5",
+		"W 0x1000 gang @5",
+		"S 0x1000 lane=1",
 	}
 	for _, line := range bad {
 		if _, err := Read(strings.NewReader(line)); err == nil {
 			t.Errorf("accepted %q", line)
 		}
 	}
+}
+
+// TestRecordRoundTripProperty asserts parseLine(rec.String()) == rec over
+// every representable record shape: all four kinds, gang on/off, and
+// boundary addresses/lanes/arrivals.
+func TestRecordRoundTripProperty(t *testing.T) {
+	addrs := []uint64{0, 0x40, 0x00001040, 1 << 33, ^uint64(0)}
+	lanes := []int{0, 1, 3, 1 << 20}
+	arrivals := []dram.Cycle{0, 1, 120, 1<<62 - 1}
+	for _, isWrite := range []bool{false, true} {
+		for _, stride := range []bool{false, true} {
+			for _, gang := range []bool{false, true} {
+				for _, addr := range addrs {
+					for _, lane := range lanes {
+						for _, at := range arrivals {
+							rec := Record{Addr: addr, IsWrite: isWrite, Stride: stride, Arrival: at}
+							if stride {
+								rec.Lane, rec.Gang = lane, gang
+							} else if lane != 0 || gang {
+								continue // not representable in the text format
+							}
+							back, err := parseLine(rec.String())
+							if err != nil {
+								t.Fatalf("parseLine(%q): %v", rec.String(), err)
+							}
+							if back != rec {
+								t.Fatalf("round trip changed %+v -> %+v (line %q)", rec, back, rec.String())
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// FuzzRecordRoundTrip is the fuzz form of the round-trip property: for any
+// canonical record (lane/gang only on strided records, non-negative
+// arrival), String followed by parseLine is the identity.
+func FuzzRecordRoundTrip(f *testing.F) {
+	f.Add(uint64(0x1040), false, false, uint32(0), false, uint64(120))
+	f.Add(uint64(0x3000), false, true, uint32(2), true, uint64(500))
+	f.Add(^uint64(0), true, true, uint32(1<<31-1), false, uint64(1)<<62)
+	f.Fuzz(func(t *testing.T, addr uint64, isWrite, stride bool, lane uint32, gang bool, arrival uint64) {
+		rec := Record{Addr: addr, IsWrite: isWrite, Stride: stride, Arrival: dram.Cycle(arrival % (1 << 62))}
+		if stride {
+			rec.Lane = int(lane % (1 << 30))
+			rec.Gang = gang
+		}
+		back, err := parseLine(rec.String())
+		if err != nil {
+			t.Fatalf("parseLine(%q): %v", rec.String(), err)
+		}
+		if back != rec {
+			t.Fatalf("round trip changed %+v -> %+v", rec, back)
+		}
+	})
 }
 
 func TestRequestConversion(t *testing.T) {
@@ -96,7 +166,10 @@ func TestReplayDrivesController(t *testing.T) {
 			Arrival: dram.Cycle(i * 3),
 		})
 	}
-	comps := Replay(tr, ctrl)
+	comps, err := Replay(tr, ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(comps) != 500 {
 		t.Fatalf("replayed %d completions, want 500", len(comps))
 	}
@@ -105,12 +178,43 @@ func TestReplayDrivesController(t *testing.T) {
 	}
 }
 
+func TestReplayAtQueueCapacity(t *testing.T) {
+	// Tiny queues with a same-cycle burst force the back-pressure loop to
+	// service between every enqueue. All records must still complete — the
+	// old Replay broke out of the loop and pushed past capacity.
+	dev := dram.NewDevice(dram.DDR4_2400())
+	cfg := mc.DefaultConfig()
+	cfg.ReadQueueCap = 2
+	cfg.WriteQueueCap = 2
+	cfg.WriteDrainHigh = 2
+	cfg.WriteDrainLow = 1
+	ctrl := mc.NewController(dev, cfg)
+	tr := &Trace{}
+	for i := 0; i < 64; i++ {
+		tr.Add(Record{Addr: uint64(i) * 4096, IsWrite: i%2 == 1, Arrival: 0})
+	}
+	comps, err := Replay(tr, ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 64 {
+		t.Fatalf("replayed %d completions, want 64", len(comps))
+	}
+	if ctrl.Pending() != 0 {
+		t.Fatalf("%d requests left queued after drain", ctrl.Pending())
+	}
+}
+
 func TestReplayDeterministic(t *testing.T) {
 	mk := func() []mc.Completion {
 		dev := dram.NewDevice(dram.DDR4_2400())
 		ctrl := mc.NewController(dev, mc.DefaultConfig())
 		tr := sampleTrace()
-		return Replay(tr, ctrl)
+		comps, err := Replay(tr, ctrl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return comps
 	}
 	a, b := mk(), mk()
 	if !reflect.DeepEqual(a, b) {
