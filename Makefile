@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check test-runner bench-parallel profile
+.PHONY: build test race vet check test-runner bench bench-parallel profile
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,11 @@ test-runner:
 
 # check is the CI gate: static analysis plus the full race-detector run.
 check: vet race
+
+# bench runs the whole Benchmark* suite with -benchmem and writes a
+# machine-readable BENCH_<date>.json baseline (scripts/bench.sh).
+bench:
+	./scripts/bench.sh
 
 # bench-parallel measures what the worker pool buys on a sweep grid.
 bench-parallel:

@@ -31,6 +31,10 @@ type AccessResult struct {
 // level, to memory.
 type Hierarchy struct {
 	levels []*Cache // levels[0] = L1, last = LLC (possibly shared)
+	// flushSeen is the dedup scratch for FlushDirty, owned by the
+	// hierarchy and cleared per call instead of reallocated — the access
+	// path is single-threaded per engine.
+	flushSeen map[uint64]bool
 }
 
 // NewHierarchy builds a hierarchy from outermost private to shared last
@@ -183,7 +187,12 @@ func (h *Hierarchy) FlushDirty() []MemOp {
 	}
 	// Deduplicate lines dirty in several levels (upper level is newest, but
 	// tag-only modeling makes them equivalent; keep the first occurrence).
-	seen := make(map[uint64]bool, len(ops))
+	if h.flushSeen == nil {
+		h.flushSeen = make(map[uint64]bool, len(ops))
+	} else {
+		clear(h.flushSeen)
+	}
+	seen := h.flushSeen
 	out := ops[:0]
 	for _, op := range ops {
 		if !seen[op.Addr] {

@@ -35,6 +35,22 @@ func (a *Auditor) Record(cmd Command, at Cycle) {
 	a.history = append(a.history, timedCommand{cmd, at})
 }
 
+// TimedCommand is one recorded command with its issue time.
+type TimedCommand struct {
+	Cmd Command
+	At  Cycle
+}
+
+// History returns a copy of the recorded command stream in record order —
+// scheduler-equivalence tests compare two controllers' streams with it.
+func (a *Auditor) History() []TimedCommand {
+	out := make([]TimedCommand, len(a.history))
+	for i, tc := range a.history {
+		out[i] = TimedCommand{Cmd: tc.cmd, At: tc.at}
+	}
+	return out
+}
+
 // Validate checks every recorded command pairwise in time order.
 func (a *Auditor) Validate() {
 	if a.checked == len(a.history) {

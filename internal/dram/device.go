@@ -256,6 +256,21 @@ func (d *Device) BankIndex(rank, group, bank int) int {
 	return rank*d.cfg.Geometry.Banks() + group*d.cfg.Geometry.BanksPerGroup + bank
 }
 
+// NumBanks returns the number of flat bank indices (Ranks x banks/rank) —
+// the valid range of BankIndex and OpenRowAt.
+func (d *Device) NumBanks() int {
+	return d.cfg.Geometry.Ranks * d.cfg.Geometry.Banks()
+}
+
+// OpenRowAt is BankOpenRow addressed by the flat BankIndex — the cheap
+// per-bank lookup the controller's scheduling index consults on its hot
+// path (no coordinate unflattening beyond one div/mod).
+func (d *Device) OpenRowAt(idx int) (int, bool) {
+	per := d.cfg.Geometry.Banks()
+	b := &d.ranks[idx/per].banks[idx%per]
+	return b.row, b.open
+}
+
 func (d *Device) bankStats(c Command) *BankStats {
 	return &d.Stats.PerBank[d.BankIndex(c.Rank, c.Group, c.Bank)]
 }

@@ -627,3 +627,38 @@ func TestMaxNEdges(t *testing.T) {
 		t.Fatalf("maxN mixed = %d, want 12", got)
 	}
 }
+
+func TestOpenRowAtMatchesBankOpenRow(t *testing.T) {
+	// The flat-index lookup the controller's scheduling index uses must
+	// agree with the coordinate form for every bank, closed and open.
+	cfg := DDR4_2400()
+	d := NewDevice(cfg)
+	g := cfg.Geometry
+	if want := g.Ranks * g.Banks(); d.NumBanks() != want {
+		t.Fatalf("NumBanks = %d, want %d", d.NumBanks(), want)
+	}
+	// Open a scattering of rows.
+	for rk := 0; rk < g.Ranks; rk++ {
+		for gr := 0; gr < g.BankGroups; gr++ {
+			for bk := 0; bk < g.BanksPerGroup; bk++ {
+				if (rk+gr+bk)%2 == 0 {
+					continue
+				}
+				cmd := Command{Kind: CmdACT, Rank: rk, Group: gr, Bank: bk, Row: 7*rk + 3*gr + bk}
+				d.Issue(cmd, d.EarliestIssue(cmd, 0))
+			}
+		}
+	}
+	for rk := 0; rk < g.Ranks; rk++ {
+		for gr := 0; gr < g.BankGroups; gr++ {
+			for bk := 0; bk < g.BanksPerGroup; bk++ {
+				wantRow, wantOpen := d.BankOpenRow(rk, gr, bk)
+				row, open := d.OpenRowAt(d.BankIndex(rk, gr, bk))
+				if row != wantRow || open != wantOpen {
+					t.Fatalf("OpenRowAt(%d,%d,%d) = (%d,%v), want (%d,%v)",
+						rk, gr, bk, row, open, wantRow, wantOpen)
+				}
+			}
+		}
+	}
+}

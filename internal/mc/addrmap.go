@@ -111,6 +111,19 @@ func (m *AddrMap) Decode(addr uint64) Coord {
 	return c
 }
 
+// Channel extracts just the channel field of addr without a full Decode —
+// the per-request routing lookup the simulator performs on every enqueue.
+func (m *AddrMap) Channel(addr uint64) int {
+	var shift int
+	switch m.il {
+	case BanksLow:
+		shift = m.offBits + m.bankBits + m.rankBits
+	default:
+		shift = m.offBits + m.colBits
+	}
+	return int((addr >> uint(shift)) & (1<<uint(m.chBits) - 1))
+}
+
 // Encode is the inverse of Decode.
 func (m *AddrMap) Encode(c Coord) uint64 {
 	addr := uint64(c.Row)

@@ -101,8 +101,14 @@ type Controller struct {
 	amap *AddrMap
 	cfg  Config
 
-	readQ  []*Request
-	writeQ []*Request
+	// readQ/writeQ hold value-typed entries with their addresses decoded
+	// once at Enqueue and indexed per bank (see queue.go) — the service
+	// loop is allocation- and decode-free.
+	readQ  reqQueue
+	writeQ reqQueue
+	// seq tags entries with enqueue order so selection scans can break
+	// arrival-time ties exactly as queue position used to.
+	seq uint64
 	// draining latches the write-drain state (hysteresis between high and
 	// low watermarks).
 	draining bool
@@ -200,10 +206,13 @@ func NewController(dev *dram.Device, cfg Config) *Controller {
 	if cfg.WriteQueueCap <= 0 || cfg.WriteDrainHigh > cfg.WriteQueueCap || cfg.WriteDrainLow >= cfg.WriteDrainHigh || cfg.ReadQueueCap <= 0 {
 		panic(fmt.Sprintf("mc: invalid config %+v", cfg))
 	}
+	banks := dev.NumBanks()
 	return &Controller{
-		dev:  dev,
-		amap: NewAddrMapInterleave(dev.Config().Geometry, cfg.Interleave),
-		cfg:  cfg,
+		dev:    dev,
+		amap:   NewAddrMapInterleave(dev.Config().Geometry, cfg.Interleave),
+		cfg:    cfg,
+		readQ:  newReqQueue(cfg.ReadQueueCap, banks),
+		writeQ: newReqQueue(cfg.WriteQueueCap, banks),
 	}
 }
 
@@ -211,35 +220,38 @@ func NewController(dev *dram.Device, cfg Config) *Controller {
 func (c *Controller) AddrMap() *AddrMap { return c.amap }
 
 // Pending returns the number of queued requests.
-func (c *Controller) Pending() int { return len(c.readQ) + len(c.writeQ) }
+func (c *Controller) Pending() int { return c.readQ.n + c.writeQ.n }
 
 // CanAccept reports whether a request of the given kind can be enqueued.
 func (c *Controller) CanAccept(isWrite bool) bool {
 	if isWrite {
-		return len(c.writeQ) < c.cfg.WriteQueueCap
+		return c.writeQ.n < c.cfg.WriteQueueCap
 	}
-	return len(c.readQ) < c.cfg.ReadQueueCap
+	return c.readQ.n < c.cfg.ReadQueueCap
 }
 
-// Enqueue adds a request. Callers must respect CanAccept.
+// Enqueue adds a request, decoding its address exactly once. Callers must
+// respect CanAccept.
 func (c *Controller) Enqueue(r Request) {
 	if !c.CanAccept(r.IsWrite) {
 		panic("mc: enqueue past queue capacity")
 	}
-	req := r
-	if req.IsWrite {
-		c.writeQ = append(c.writeQ, &req)
+	co := c.amap.Decode(r.Addr)
+	bank := int32(c.dev.BankIndex(co.Rank, co.Group, co.Bank))
+	if r.IsWrite {
+		c.writeQ.push(r, co, bank, c.seq)
 	} else {
-		c.readQ = append(c.readQ, &req)
+		c.readQ.push(r, co, bank, c.seq)
 	}
+	c.seq++
 	if occ := c.Pending(); occ > c.Stats.MaxQueueOccupancy {
 		c.Stats.MaxQueueOccupancy = occ
 	}
 	if c.Metrics != nil {
 		if r.IsWrite {
-			c.Metrics.QueueWrite.Observe(uint64(len(c.writeQ)))
+			c.Metrics.QueueWrite.Observe(uint64(c.writeQ.n))
 		} else {
-			c.Metrics.QueueRead.Observe(uint64(len(c.readQ)))
+			c.Metrics.QueueRead.Observe(uint64(c.readQ.n))
 		}
 	}
 }
@@ -254,26 +266,26 @@ func (c *Controller) ServiceOne() (Completion, bool) {
 	if q == nil {
 		return Completion{}, false
 	}
-	idx := c.frFCFS(*q)
-	req := (*q)[idx]
-	*q = append((*q)[:idx], (*q)[idx+1:]...)
+	slot := c.frFCFS(q)
+	e := q.slots[slot] // copy out before the slot returns to the freelist
+	q.remove(slot)
 
-	if c.now < req.Arrival {
-		c.now = req.Arrival
+	if c.now < e.req.Arrival {
+		c.now = e.req.Arrival
 	}
 	c.serviceRefresh()
-	c.prepareAhead(*q, req)
-	comp := c.access(req)
-	if req.IsWrite {
+	c.prepareAhead(q, &e)
+	comp := c.access(&e)
+	if e.req.IsWrite {
 		c.Stats.Writes++
 	} else {
 		c.Stats.Reads++
-		c.Stats.TotalReadLatency += uint64(comp.DataEnd - req.Arrival)
+		c.Stats.TotalReadLatency += uint64(comp.DataEnd - e.req.Arrival)
 	}
 	if c.Metrics != nil {
-		c.Metrics.latency(req.IsWrite, req.Stride).Observe(uint64(comp.DataEnd - req.Arrival))
+		c.Metrics.latency(e.req.IsWrite, e.req.Stride).Observe(uint64(comp.DataEnd - e.req.Arrival))
 	}
-	if req.Stride {
+	if e.req.Stride {
 		c.Stats.StrideAccesses++
 	}
 	c.Stats.BusCycleOfLastAccess = comp.DataEnd
@@ -283,20 +295,20 @@ func (c *Controller) ServiceOne() (Completion, bool) {
 // pickQueue decides between the read queue and the write queue (reads have
 // priority; writes drain in batches between watermarks or when no reads
 // are pending).
-func (c *Controller) pickQueue() *[]*Request {
-	if len(c.writeQ) >= c.cfg.WriteDrainHigh {
+func (c *Controller) pickQueue() *reqQueue {
+	if c.writeQ.n >= c.cfg.WriteDrainHigh {
 		c.draining = true
 	}
-	if len(c.writeQ) <= c.cfg.WriteDrainLow {
+	if c.writeQ.n <= c.cfg.WriteDrainLow {
 		c.draining = false
 	}
 	switch {
-	case c.draining && len(c.writeQ) > 0:
+	case c.draining && c.writeQ.n > 0:
 		c.Stats.WriteDrains++
 		return &c.writeQ
-	case len(c.readQ) > 0:
+	case c.readQ.n > 0:
 		return &c.readQ
-	case len(c.writeQ) > 0:
+	case c.writeQ.n > 0:
 		return &c.writeQ
 	default:
 		return nil
@@ -311,45 +323,55 @@ func (c *Controller) pickQueue() *[]*Request {
 // unbounded starvation, not to second-guess FR-FCFS.
 const starvationLimit = 16384
 
-// frFCFS returns the index of the best candidate: first ready row-buffer
-// hit, else the oldest request. Only requests that have arrived by now are
-// preferred; if none have arrived, the earliest-arriving one is chosen.
-func (c *Controller) frFCFS(q []*Request) int {
-	best := -1
-	var bestArrival dram.Cycle
-	// Starvation guard: an over-aged oldest read preempts the hit scan.
-	oldest := 0
-	for i, r := range q {
-		if r.Arrival < q[oldest].Arrival {
+// frFCFS returns the slot of the best candidate: the oldest arrived
+// row-buffer hit, else the oldest request overall (which, when nothing has
+// arrived yet, is the earliest-arriving one). The hit scan consults the
+// per-bank index: one open-row lookup per occupied bank, then only that
+// bank's pending entries — never a re-decode. Ties on arrival time break
+// by enqueue order (seq), matching the old in-queue-order slice scan.
+func (c *Controller) frFCFS(q *reqQueue) int32 {
+	// Oldest overall, in enqueue order with a strict < so the earliest
+	// enqueued wins among equal arrivals. This doubles as pass 2.
+	oldest := nilSlot
+	for i := q.head; i != nilSlot; i = q.slots[i].next {
+		if oldest == nilSlot || q.slots[i].req.Arrival < q.slots[oldest].req.Arrival {
 			oldest = i
 		}
 	}
-	if !q[oldest].IsWrite && q[oldest].Arrival <= c.now-starvationLimit {
+	// Starvation guard: an over-aged oldest read preempts the hit scan.
+	if o := &q.slots[oldest]; !o.req.IsWrite && o.req.Arrival <= c.now-starvationLimit {
 		c.Stats.StarvationBreaks++
 		return oldest
 	}
-	// Pass 1: arrived row hits, oldest first.
-	for i, r := range q {
-		if r.Arrival > c.now {
+	// Pass 1: arrived row hits, oldest first, via the per-bank index.
+	best := nilSlot
+	for bank, h := range q.bankHead {
+		if h == nilSlot {
 			continue
 		}
-		co := c.amap.Decode(r.Addr)
-		if row, open := c.dev.BankOpenRow(co.Rank, co.Group, co.Bank); open && row == co.Row {
-			if best == -1 || r.Arrival < bestArrival {
-				best, bestArrival = i, r.Arrival
+		row, open := c.dev.OpenRowAt(bank)
+		if !open {
+			continue
+		}
+		for i := h; i != nilSlot; i = q.slots[i].bankNext {
+			e := &q.slots[i]
+			if e.req.Arrival > c.now || e.co.Row != row {
+				continue
+			}
+			if best == nilSlot {
+				best = i
+				continue
+			}
+			if b := &q.slots[best]; e.req.Arrival < b.req.Arrival ||
+				(e.req.Arrival == b.req.Arrival && e.seq < b.seq) {
+				best = i
 			}
 		}
 	}
-	if best != -1 {
+	if best != nilSlot {
 		return best
 	}
-	// Pass 2: oldest request overall.
-	for i, r := range q {
-		if best == -1 || r.Arrival < bestArrival {
-			best, bestArrival = i, r.Arrival
-		}
-	}
-	return best
+	return oldest
 }
 
 // prepareLookahead bounds how many future requests get their banks opened
@@ -360,62 +382,65 @@ const prepareLookahead = 8
 // prepareAhead issues PRE/ACT for upcoming queued requests whose banks are
 // not ready, so their row activations overlap the current request's column
 // access instead of serializing behind it. A bank is only prepared when no
-// other arrived request still wants its currently open row.
-func (c *Controller) prepareAhead(q []*Request, current *Request) {
+// other arrived request still wants its currently open row. The scan walks
+// the queue in enqueue order over pre-decoded entries; current has already
+// been dequeued.
+func (c *Controller) prepareAhead(q *reqQueue, current *entry) {
 	prepared := 0
-	for _, r := range q {
+	for i := q.head; i != nilSlot; i = q.slots[i].next {
 		if prepared >= prepareLookahead {
 			return
 		}
-		if r == current || r.Arrival > c.now {
+		e := &q.slots[i]
+		if e.req.Arrival > c.now {
 			continue
 		}
-		co := c.amap.Decode(r.Addr)
-		cur := c.amap.Decode(current.Addr)
-		if co.Rank == cur.Rank && co.Group == cur.Group && co.Bank == cur.Bank {
+		if e.bank == current.bank {
 			continue // never disturb the bank the current request needs
 		}
-		row, open := c.dev.BankOpenRow(co.Rank, co.Group, co.Bank)
-		if open && row == co.Row {
+		row, open := c.dev.OpenRowAt(int(e.bank))
+		if open && row == e.co.Row {
 			continue // already a row hit
 		}
 		if open {
-			if c.anyArrivedWantsRow(co, row, r) {
+			if c.anyArrivedWantsRow(e.bank, row, q, i) {
 				continue // precharging would kill a pending row hit
 			}
-			c.issue(dram.Command{Kind: dram.CmdPRE, Rank: co.Rank, Group: co.Group, Bank: co.Bank})
+			c.issue(dram.Command{Kind: dram.CmdPRE, Rank: e.co.Rank, Group: e.co.Group, Bank: e.co.Bank})
 		}
-		c.issue(dram.Command{Kind: dram.CmdACT, Rank: co.Rank, Group: co.Group, Bank: co.Bank, Row: co.Row, GangRanks: r.Gang})
+		c.issue(dram.Command{Kind: dram.CmdACT, Rank: e.co.Rank, Group: e.co.Group, Bank: e.co.Bank, Row: e.co.Row, GangRanks: e.req.Gang})
 		prepared++
 	}
 }
 
 // anyArrivedWantsRow reports whether any arrived queued request other than
-// skip targets the given open row of the bank in co.
-func (c *Controller) anyArrivedWantsRow(co Coord, row int, skip *Request) bool {
-	check := func(q []*Request) bool {
-		for _, r := range q {
-			if r == skip || r.Arrival > c.now {
+// the skip entry targets the given open row of the bank. Only the two
+// per-bank pending lists for that bank are consulted — O(candidates), not
+// a rescan of both queues.
+func (c *Controller) anyArrivedWantsRow(bank int32, row int, skipQ *reqQueue, skip int32) bool {
+	for _, q := range [2]*reqQueue{&c.readQ, &c.writeQ} {
+		for i := q.bankHead[bank]; i != nilSlot; i = q.slots[i].bankNext {
+			if q == skipQ && i == skip {
 				continue
 			}
-			o := c.amap.Decode(r.Addr)
-			if o.Rank == co.Rank && o.Group == co.Group && o.Bank == co.Bank && o.Row == row {
+			e := &q.slots[i]
+			if e.req.Arrival > c.now {
+				continue
+			}
+			if e.co.Row == row {
 				return true
 			}
 		}
-		return false
 	}
-	return check(c.readQ) || check(c.writeQ)
+	return false
 }
 
 // serviceRefresh issues REF commands for any rank whose deadline passed.
 func (c *Controller) serviceRefresh() {
 	for r := 0; r < c.dev.Config().Geometry.Ranks; r++ {
 		for c.dev.RefreshDue(r) <= c.now {
-			cmd := dram.Command{Kind: dram.CmdREF, Rank: r}
-			at := c.issue(cmd)
+			c.issue(dram.Command{Kind: dram.CmdREF, Rank: r})
 			c.Stats.Refreshes++
-			_ = at
 		}
 	}
 }
@@ -435,12 +460,13 @@ func (c *Controller) issue(cmd dram.Command) dram.Cycle {
 	return at
 }
 
-// access performs the PRE/ACT/column sequence for one request.
-func (c *Controller) access(r *Request) Completion {
-	co := c.amap.Decode(r.Addr)
+// access performs the PRE/ACT/column sequence for one request, using the
+// coordinates decoded at Enqueue.
+func (c *Controller) access(e *entry) Completion {
+	r, co := &e.req, e.co
 	comp := Completion{Req: *r}
 
-	openRow, open := c.dev.BankOpenRow(co.Rank, co.Group, co.Bank)
+	openRow, open := c.dev.OpenRowAt(int(e.bank))
 	switch {
 	case open && openRow == co.Row:
 		comp.RowHit = true

@@ -458,37 +458,45 @@ func TestMetricsClassSplit(t *testing.T) {
 
 func TestStarvationGuard(t *testing.T) {
 	// Invariant 8: a conflicting request must not wait unboundedly behind a
-	// stream of row hits.
-	c := newTestController()
-	m := c.AddrMap()
-	// Open row 0 of bank 0.
-	c.Enqueue(Request{ID: 0, Addr: 0, Arrival: 0})
-	c.ServiceOne()
-	// The victim: row 1 of the same bank, enqueued early.
-	co := m.Decode(0)
-	co.Row = 1
-	victim := m.Encode(co)
-	c.Enqueue(Request{ID: 1, Addr: victim, Arrival: 1})
-	// Keep feeding row hits long past the starvation limit.
-	var servicedVictimAt int
-	for i := 2; i < 3000; i++ {
-		co.Row = 0
-		co.Col = i % 32
-		c.Enqueue(Request{ID: uint64(i), Addr: m.Encode(co), Arrival: c.Now()})
-		comp, _ := c.ServiceOne()
-		if comp.Req.ID == 1 {
-			servicedVictimAt = i
-			break
-		}
-	}
-	if servicedVictimAt == 0 {
-		t.Fatal("victim starved for 3000 services")
-	}
-	if c.Stats.StarvationBreaks == 0 {
-		t.Fatal("starvation break not counted")
-	}
-	// And the victim waited at most ~limit plus scheduling slack.
-	if c.Now() > starvationLimit+1024 {
-		t.Fatalf("victim serviced only at t=%d", c.Now())
+	// stream of row hits. Both the decode-once scheduler and the frozen
+	// reference must break the hit stream for the aged read.
+	for name, mk := range map[string]func() scheduler{
+		"new":       func() scheduler { return newTestController() },
+		"reference": func() scheduler { return newReferenceController(dram.NewDevice(dram.DDR4_2400()), DefaultConfig()) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			c := mk()
+			m := c.AddrMap()
+			// Open row 0 of bank 0.
+			c.Enqueue(Request{ID: 0, Addr: 0, Arrival: 0})
+			c.ServiceOne()
+			// The victim: row 1 of the same bank, enqueued early.
+			co := m.Decode(0)
+			co.Row = 1
+			victim := m.Encode(co)
+			c.Enqueue(Request{ID: 1, Addr: victim, Arrival: 1})
+			// Keep feeding row hits long past the starvation limit.
+			var servicedVictimAt int
+			for i := 2; i < 3000; i++ {
+				co.Row = 0
+				co.Col = i % 32
+				c.Enqueue(Request{ID: uint64(i), Addr: m.Encode(co), Arrival: c.Now()})
+				comp, _ := c.ServiceOne()
+				if comp.Req.ID == 1 {
+					servicedVictimAt = i
+					break
+				}
+			}
+			if servicedVictimAt == 0 {
+				t.Fatal("victim starved for 3000 services")
+			}
+			if c.stats().StarvationBreaks == 0 {
+				t.Fatal("starvation break not counted")
+			}
+			// And the victim waited at most ~limit plus scheduling slack.
+			if c.Now() > starvationLimit+1024 {
+				t.Fatalf("victim serviced only at t=%d", c.Now())
+			}
+		})
 	}
 }

@@ -1,0 +1,114 @@
+package mc
+
+// This file holds the controller's scheduling data structure: a
+// fixed-capacity pool of value-typed queue entries threaded by two
+// intrusive doubly-linked lists — arrival (enqueue) order for the FR-FCFS
+// scans, and a per-bank pending list for row-hit selection and open-row
+// conflict checks. Each request's address is decoded exactly once, at
+// Enqueue; the service loop never allocates and never re-decodes.
+//
+// Dequeue-by-index is O(1) (unlink from both lists, slot returns to the
+// freelist) and preserves the relative order of the remaining entries, so
+// FR-FCFS tie-breaking ("first enqueued wins among equal arrivals") is
+// byte-identical to the old slice-shift implementation — the differential
+// test in differential_test.go enforces this against the frozen reference
+// scheduler.
+
+// nilSlot terminates the intrusive lists.
+const nilSlot = int32(-1)
+
+// entry is one queued request with its DRAM coordinates decoded once.
+type entry struct {
+	req  Request
+	co   Coord
+	bank int32  // flat Device.BankIndex of co
+	seq  uint64 // enqueue order; breaks arrival ties like queue position did
+
+	// Arrival-order list (the queue proper).
+	prev, next int32
+	// Per-bank pending list (unordered; selection compares (Arrival, seq)).
+	bankPrev, bankNext int32
+}
+
+// reqQueue is the fixed-capacity slot pool plus its list heads. The zero
+// value is not usable; call newReqQueue.
+type reqQueue struct {
+	slots    []entry
+	bankHead []int32 // per flat bank index, head of the pending list
+	free     int32   // freelist threaded through entry.next
+	head     int32   // oldest-enqueued live entry
+	tail     int32   // newest-enqueued live entry
+	n        int     // live entries
+}
+
+// newReqQueue builds a queue for `capacity` requests over `banks` flat
+// bank indices. Both allocations happen here, once per controller; the
+// queue never grows or allocates afterwards.
+func newReqQueue(capacity, banks int) reqQueue {
+	q := reqQueue{
+		slots:    make([]entry, capacity),
+		bankHead: make([]int32, banks),
+		head:     nilSlot,
+		tail:     nilSlot,
+	}
+	for i := range q.slots {
+		q.slots[i].next = int32(i) + 1
+	}
+	q.slots[capacity-1].next = nilSlot
+	for b := range q.bankHead {
+		q.bankHead[b] = nilSlot
+	}
+	return q
+}
+
+// push appends a decoded request at the queue tail and indexes it under
+// its bank. Callers must respect capacity (Controller.CanAccept).
+func (q *reqQueue) push(req Request, co Coord, bank int32, seq uint64) {
+	i := q.free
+	if i == nilSlot {
+		panic("mc: reqQueue overflow")
+	}
+	q.free = q.slots[i].next
+	q.slots[i] = entry{
+		req: req, co: co, bank: bank, seq: seq,
+		prev: q.tail, next: nilSlot,
+		bankPrev: nilSlot, bankNext: q.bankHead[bank],
+	}
+	if q.tail != nilSlot {
+		q.slots[q.tail].next = i
+	} else {
+		q.head = i
+	}
+	q.tail = i
+	if nx := q.slots[i].bankNext; nx != nilSlot {
+		q.slots[nx].bankPrev = i
+	}
+	q.bankHead[bank] = i
+	q.n++
+}
+
+// remove unlinks slot i from both lists and returns it to the freelist.
+func (q *reqQueue) remove(i int32) {
+	e := &q.slots[i]
+	if e.prev != nilSlot {
+		q.slots[e.prev].next = e.next
+	} else {
+		q.head = e.next
+	}
+	if e.next != nilSlot {
+		q.slots[e.next].prev = e.prev
+	} else {
+		q.tail = e.prev
+	}
+	if e.bankPrev != nilSlot {
+		q.slots[e.bankPrev].bankNext = e.bankNext
+	} else {
+		q.bankHead[e.bank] = e.bankNext
+	}
+	if e.bankNext != nilSlot {
+		q.slots[e.bankNext].bankPrev = e.bankPrev
+	}
+	e.next = q.free
+	q.free = i
+	q.n--
+}

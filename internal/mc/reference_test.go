@@ -1,0 +1,301 @@
+package mc
+
+import (
+	"sam/internal/dram"
+)
+
+// referenceController is the pre-optimization FR-FCFS scheduler, kept
+// verbatim as a test-only oracle: []*Request queues, an O(n) slice-shift
+// dequeue, and a full re-decode of every queued address in every
+// scheduling pass. Its observable behaviour — completion stream, Stats,
+// and the device command sequence — defines correctness for the
+// decode-once Controller; differential_test.go drives both on randomized
+// request mixes and requires byte-identical results.
+//
+// Do not "improve" this type: its value is that it stays frozen.
+type referenceController struct {
+	dev  *dram.Device
+	amap *AddrMap
+	cfg  Config
+
+	readQ  []*Request
+	writeQ []*Request
+
+	draining bool
+
+	now   dram.Cycle
+	Stats Stats
+
+	Audit   *dram.Auditor
+	Metrics *Metrics
+}
+
+func newReferenceController(dev *dram.Device, cfg Config) *referenceController {
+	if cfg.WriteQueueCap <= 0 || cfg.WriteDrainHigh > cfg.WriteQueueCap || cfg.WriteDrainLow >= cfg.WriteDrainHigh || cfg.ReadQueueCap <= 0 {
+		panic("mc: invalid reference config")
+	}
+	return &referenceController{
+		dev:  dev,
+		amap: NewAddrMapInterleave(dev.Config().Geometry, cfg.Interleave),
+		cfg:  cfg,
+	}
+}
+
+func (c *referenceController) AddrMap() *AddrMap { return c.amap }
+
+func (c *referenceController) Pending() int { return len(c.readQ) + len(c.writeQ) }
+
+func (c *referenceController) CanAccept(isWrite bool) bool {
+	if isWrite {
+		return len(c.writeQ) < c.cfg.WriteQueueCap
+	}
+	return len(c.readQ) < c.cfg.ReadQueueCap
+}
+
+func (c *referenceController) Enqueue(r Request) {
+	if !c.CanAccept(r.IsWrite) {
+		panic("mc: enqueue past queue capacity")
+	}
+	req := r
+	if req.IsWrite {
+		c.writeQ = append(c.writeQ, &req)
+	} else {
+		c.readQ = append(c.readQ, &req)
+	}
+	if occ := c.Pending(); occ > c.Stats.MaxQueueOccupancy {
+		c.Stats.MaxQueueOccupancy = occ
+	}
+	if c.Metrics != nil {
+		if r.IsWrite {
+			c.Metrics.QueueWrite.Observe(uint64(len(c.writeQ)))
+		} else {
+			c.Metrics.QueueRead.Observe(uint64(len(c.readQ)))
+		}
+	}
+}
+
+func (c *referenceController) Now() dram.Cycle { return c.now }
+
+func (c *referenceController) ServiceOne() (Completion, bool) {
+	q := c.pickQueue()
+	if q == nil {
+		return Completion{}, false
+	}
+	idx := c.frFCFS(*q)
+	req := (*q)[idx]
+	*q = append((*q)[:idx], (*q)[idx+1:]...)
+
+	if c.now < req.Arrival {
+		c.now = req.Arrival
+	}
+	c.serviceRefresh()
+	c.prepareAhead(*q, req)
+	comp := c.access(req)
+	if req.IsWrite {
+		c.Stats.Writes++
+	} else {
+		c.Stats.Reads++
+		c.Stats.TotalReadLatency += uint64(comp.DataEnd - req.Arrival)
+	}
+	if c.Metrics != nil {
+		c.Metrics.latency(req.IsWrite, req.Stride).Observe(uint64(comp.DataEnd - req.Arrival))
+	}
+	if req.Stride {
+		c.Stats.StrideAccesses++
+	}
+	c.Stats.BusCycleOfLastAccess = comp.DataEnd
+	return comp, true
+}
+
+func (c *referenceController) pickQueue() *[]*Request {
+	if len(c.writeQ) >= c.cfg.WriteDrainHigh {
+		c.draining = true
+	}
+	if len(c.writeQ) <= c.cfg.WriteDrainLow {
+		c.draining = false
+	}
+	switch {
+	case c.draining && len(c.writeQ) > 0:
+		c.Stats.WriteDrains++
+		return &c.writeQ
+	case len(c.readQ) > 0:
+		return &c.readQ
+	case len(c.writeQ) > 0:
+		return &c.writeQ
+	default:
+		return nil
+	}
+}
+
+func (c *referenceController) frFCFS(q []*Request) int {
+	best := -1
+	var bestArrival dram.Cycle
+	oldest := 0
+	for i, r := range q {
+		if r.Arrival < q[oldest].Arrival {
+			oldest = i
+		}
+	}
+	if !q[oldest].IsWrite && q[oldest].Arrival <= c.now-starvationLimit {
+		c.Stats.StarvationBreaks++
+		return oldest
+	}
+	for i, r := range q {
+		if r.Arrival > c.now {
+			continue
+		}
+		co := c.amap.Decode(r.Addr)
+		if row, open := c.dev.BankOpenRow(co.Rank, co.Group, co.Bank); open && row == co.Row {
+			if best == -1 || r.Arrival < bestArrival {
+				best, bestArrival = i, r.Arrival
+			}
+		}
+	}
+	if best != -1 {
+		return best
+	}
+	for i, r := range q {
+		if best == -1 || r.Arrival < bestArrival {
+			best, bestArrival = i, r.Arrival
+		}
+	}
+	return best
+}
+
+func (c *referenceController) prepareAhead(q []*Request, current *Request) {
+	prepared := 0
+	for _, r := range q {
+		if prepared >= prepareLookahead {
+			return
+		}
+		if r == current || r.Arrival > c.now {
+			continue
+		}
+		co := c.amap.Decode(r.Addr)
+		cur := c.amap.Decode(current.Addr)
+		if co.Rank == cur.Rank && co.Group == cur.Group && co.Bank == cur.Bank {
+			continue
+		}
+		row, open := c.dev.BankOpenRow(co.Rank, co.Group, co.Bank)
+		if open && row == co.Row {
+			continue
+		}
+		if open {
+			if c.anyArrivedWantsRow(co, row, r) {
+				continue
+			}
+			c.issue(dram.Command{Kind: dram.CmdPRE, Rank: co.Rank, Group: co.Group, Bank: co.Bank})
+		}
+		c.issue(dram.Command{Kind: dram.CmdACT, Rank: co.Rank, Group: co.Group, Bank: co.Bank, Row: co.Row, GangRanks: r.Gang})
+		prepared++
+	}
+}
+
+func (c *referenceController) anyArrivedWantsRow(co Coord, row int, skip *Request) bool {
+	check := func(q []*Request) bool {
+		for _, r := range q {
+			if r == skip || r.Arrival > c.now {
+				continue
+			}
+			o := c.amap.Decode(r.Addr)
+			if o.Rank == co.Rank && o.Group == co.Group && o.Bank == co.Bank && o.Row == row {
+				return true
+			}
+		}
+		return false
+	}
+	return check(c.readQ) || check(c.writeQ)
+}
+
+func (c *referenceController) serviceRefresh() {
+	for r := 0; r < c.dev.Config().Geometry.Ranks; r++ {
+		for c.dev.RefreshDue(r) <= c.now {
+			c.issue(dram.Command{Kind: dram.CmdREF, Rank: r})
+			c.Stats.Refreshes++
+		}
+	}
+}
+
+func (c *referenceController) issue(cmd dram.Command) dram.Cycle {
+	at := c.dev.EarliestIssue(cmd, c.now)
+	c.dev.Issue(cmd, at)
+	if c.Audit != nil {
+		c.Audit.Record(cmd, at)
+	}
+	c.Stats.IssuedCommands++
+	return at
+}
+
+func (c *referenceController) access(r *Request) Completion {
+	co := c.amap.Decode(r.Addr)
+	comp := Completion{Req: *r}
+
+	openRow, open := c.dev.BankOpenRow(co.Rank, co.Group, co.Bank)
+	switch {
+	case open && openRow == co.Row:
+		comp.RowHit = true
+		c.Stats.RowHits++
+	case open:
+		c.Stats.RowMisses++
+		c.issue(dram.Command{Kind: dram.CmdPRE, Rank: co.Rank, Group: co.Group, Bank: co.Bank})
+		c.issue(dram.Command{Kind: dram.CmdACT, Rank: co.Rank, Group: co.Group, Bank: co.Bank, Row: co.Row, GangRanks: r.Gang})
+	default:
+		comp.RowEmpty = true
+		c.Stats.RowEmpties++
+		c.issue(dram.Command{Kind: dram.CmdACT, Rank: co.Rank, Group: co.Group, Bank: co.Bank, Row: co.Row, GangRanks: r.Gang})
+	}
+
+	kind := dram.CmdRD
+	if r.IsWrite {
+		kind = dram.CmdWR
+	}
+	mode := dram.ModeX4
+	if r.Stride {
+		mode = dram.ModeStride0 + dram.IOMode(r.Lane%4)
+	}
+	cmd := dram.Command{
+		Kind: kind, Rank: co.Rank, Group: co.Group, Bank: co.Bank,
+		Row: co.Row, Col: co.Col, Mode: mode, GangRanks: r.Gang,
+	}
+	at := c.dev.EarliestIssue(cmd, c.now)
+	res := c.dev.Issue(cmd, at)
+	if c.Audit != nil {
+		c.Audit.Record(cmd, at)
+	}
+	c.Stats.IssuedCommands++
+	if res.ModeSwitched {
+		c.Stats.ModeSwitches++
+	}
+	comp.IssueAt = at
+	comp.DataStart = res.DataStart
+	comp.DataEnd = res.DataEnd
+	c.now = at
+	return comp
+}
+
+func (c *referenceController) Drain() []Completion {
+	var out []Completion
+	for {
+		comp, ok := c.ServiceOne()
+		if !ok {
+			return out
+		}
+		out = append(out, comp)
+	}
+}
+
+// scheduler is the surface the differential and starvation tests drive on
+// both implementations.
+type scheduler interface {
+	Enqueue(Request)
+	ServiceOne() (Completion, bool)
+	CanAccept(bool) bool
+	Pending() int
+	Now() dram.Cycle
+	AddrMap() *AddrMap
+	Drain() []Completion
+	stats() *Stats
+}
+
+func (c *Controller) stats() *Stats          { return &c.Stats }
+func (c *referenceController) stats() *Stats { return &c.Stats }

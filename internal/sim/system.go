@@ -118,12 +118,13 @@ func (s *System) ChannelController(ch int) *mc.Controller { return s.controllers
 // ChannelDevice returns channel ch's device.
 func (s *System) ChannelDevice(ch int) *dram.Device { return s.devices[ch] }
 
-// channelOf routes an address to its channel.
+// channelOf routes an address to its channel (a masked shift, not a full
+// coordinate decode — this sits on the per-request enqueue path).
 func (s *System) channelOf(addr uint64) int {
 	if len(s.controllers) == 1 {
 		return 0
 	}
-	return s.route.Decode(addr).Channel
+	return s.route.Channel(addr)
 }
 
 // AuditOK reports whether every channel's command stream was protocol

@@ -195,7 +195,7 @@ func parseLine(text string) (Record, error) {
 // behaviour broke out of the loop and enqueued anyway, silently pushing
 // past queue capacity (which the controller now treats as a caller bug).
 func Replay(t *Trace, c *mc.Controller) ([]mc.Completion, error) {
-	var comps []mc.Completion
+	comps := make([]mc.Completion, 0, len(t.Records))
 	for i, rec := range t.Records {
 		for !c.CanAccept(rec.IsWrite) {
 			comp, ok := c.ServiceOne()

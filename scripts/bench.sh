@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# bench.sh — run the repo's Benchmark* suites with -benchmem and emit a
+# machine-readable baseline, BENCH_<date>.json by default (override with a
+# filename argument). Each entry records the benchmark name, iteration
+# count, ns/op, B/op, allocs/op, and any custom metrics reported via
+# b.ReportMetric (e.g. sim-requests, speedup).
+#
+# The microbenchmarks (internal/mc, internal/ecc) run at a real benchtime
+# for stable ns/op; the root figure/sweep suite runs one iteration per
+# benchmark because each iteration is a full simulation.
+#
+# Compare two baselines with benchstat, or diff the JSON directly — see
+# EXPERIMENTS.md ("Performance methodology").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DATE="${BENCH_DATE:-$(date +%F)}"
+OUT="${1:-BENCH_${DATE}.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench . -benchmem -benchtime "${MICRO_BENCHTIME:-1s}" \
+    ./internal/mc ./internal/ecc | tee "$RAW"
+go test -run '^$' -bench . -benchmem -benchtime 1x . | tee -a "$RAW"
+
+# go test bench lines are "BenchmarkName-P  iters  value unit  value unit ...";
+# fold the value/unit pairs into JSON keys (ns/op -> ns_per_op, custom
+# metric units keep their name with non-alphanumerics mapped to _).
+awk -v date="$DATE" -v goversion="$(go env GOVERSION)" '
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    line = sprintf("{\"name\":\"%s\",\"iterations\":%s", name, $2)
+    for (i = 3; i + 1 <= NF; i += 2) {
+        val = $i; unit = $(i + 1)
+        if (unit == "ns/op") key = "ns_per_op"
+        else if (unit == "B/op") key = "bytes_per_op"
+        else if (unit == "allocs/op") key = "allocs_per_op"
+        else { key = unit; gsub(/[^A-Za-z0-9]/, "_", key) }
+        line = line sprintf(",\"%s\":%s", key, val)
+    }
+    out[n++] = line "}"
+}
+END {
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [\n", date, goversion
+    for (i = 0; i < n; i++) printf "    %s%s\n", out[i], (i < n - 1 ? "," : "")
+    printf "  ]\n}\n"
+}' "$RAW" > "$OUT"
+echo "wrote $OUT"
