@@ -23,6 +23,7 @@ import (
 
 	"sam/internal/core"
 	"sam/internal/design"
+	"sam/internal/etrace"
 	"sam/internal/imdb"
 	"sam/internal/sim"
 	"sam/internal/sql"
@@ -84,6 +85,7 @@ func (sh *shell) run(line string) {
 		sh.printf("  \\compare <sql>     run on baseline and the current design, report speedup\n")
 		sh.printf("  \\tables            show loaded tables\n")
 		sh.printf("  \\bench <name>      run a Table 3 benchmark query (Q1..Qs6)\n")
+		sh.printf("  \\trace <file> <sql> run with cycle-accurate tracing, write Perfetto JSON\n")
 		sh.printf("  \\quit              exit\n")
 	case strings.HasPrefix(line, `\design`):
 		name := strings.TrimSpace(strings.TrimPrefix(line, `\design`))
@@ -99,6 +101,14 @@ func (sh *shell) run(line string) {
 	case strings.HasPrefix(line, `\compare`):
 		q := strings.TrimSpace(strings.TrimPrefix(line, `\compare`))
 		sh.compare(q)
+	case strings.HasPrefix(line, `\trace`):
+		rest := strings.TrimSpace(strings.TrimPrefix(line, `\trace`))
+		file, q, ok := strings.Cut(rest, " ")
+		if !ok || file == "" || strings.TrimSpace(q) == "" {
+			sh.printf("usage: \\trace <file> <sql>\n")
+			return
+		}
+		sh.trace(file, strings.TrimSpace(q))
 	case strings.HasPrefix(line, `\bench`):
 		name := strings.TrimSpace(strings.TrimPrefix(line, `\bench`))
 		for _, b := range core.Benchmark() {
@@ -130,6 +140,45 @@ func (sh *shell) query(text string, params sql.Params) {
 		r.Stats.Cycles, r.Stats.MemRequests,
 		r.Stats.Device.StrideReads+r.Stats.Device.StrideWrites,
 		r.Stats.RowHitRate*100, sh.kind)
+}
+
+// traceWindow is the sampling window for \trace time series (bus cycles).
+const traceWindow = 2048
+
+// trace runs one query on the current design with cycle-accurate event
+// tracing attached and writes the Chrome/Perfetto JSON to file. The
+// attachment is removed afterwards, so subsequent queries pay no tracing
+// cost.
+func (sh *shell) trace(file, text string) {
+	s := sh.system(sh.kind)
+	buf := etrace.NewBuffer(0)
+	buf.Name = sh.kind.String()
+	sp := etrace.NewSampler(traceWindow)
+	sp.Name = sh.kind.String()
+	s.AttachEventTrace(buf, sp)
+	defer s.AttachEventTrace(nil, nil)
+	r, err := s.RunQuery(text, sql.Params{})
+	if err != nil {
+		sh.printf("error: %v\n", err)
+		return
+	}
+	f, err := os.Create(file)
+	if err != nil {
+		sh.printf("error: %v\n", err)
+		return
+	}
+	if err := etrace.WriteChrome(f, []*etrace.Buffer{buf}, []*etrace.Sampler{sp}); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		sh.printf("error: %v\n", err)
+		return
+	}
+	sh.printf("rows %d, %d cycles [%s]\n", r.Rows, r.Stats.Cycles, sh.kind)
+	sh.printf("event trace: %d events (%d dropped), %d samples -> %s\n",
+		buf.Len(), buf.Dropped(), len(sp.Samples), file)
 }
 
 func (sh *shell) compare(text string) {

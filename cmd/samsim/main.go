@@ -19,6 +19,7 @@ import (
 
 	"sam/internal/core"
 	"sam/internal/design"
+	"sam/internal/etrace"
 	"sam/internal/imdb"
 	"sam/internal/prof"
 	"sam/internal/runner"
@@ -47,6 +48,10 @@ func main() {
 	workers := flag.Int("workers", 0, "max parallel simulations for -compare (0 = GOMAXPROCS)")
 	faultChip := flag.Int("faultchip", -1, "inject a dead chip at this index (chipkill study)")
 	traceOut := flag.String("trace", "", "dump the memory request trace to this file")
+	eventOut := flag.String("trace-out", "", "write a cycle-accurate Chrome/Perfetto trace-event JSON to this file")
+	traceCSV := flag.String("trace-csv", "", "write the windowed time-series samples as CSV to this file")
+	traceWindow := flag.Int64("trace-window", 2048, "sampling window for the trace time series (bus cycles)")
+	traceLimit := flag.Int("trace-limit", etrace.DefaultCapacity, "event-ring capacity; oldest events drop beyond this")
 	statsJSON := flag.String("stats-json", "", "write the full run report as JSON to this file ('-' for stdout)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -101,8 +106,9 @@ func main() {
 		fail(fmt.Errorf("provide -query or -bench"))
 	}
 
+	eventTracing := *eventOut != "" || *traceCSV != ""
 	var res, base *sim.QueryResult
-	if *faultChip >= 0 || *traceOut != "" {
+	if *faultChip >= 0 || *traceOut != "" || eventTracing {
 		// Build the system by hand so the extras can be attached.
 		d := design.New(kind, design.Options{})
 		s := sim.NewSystem(d)
@@ -113,6 +119,15 @@ func main() {
 		}
 		if *traceOut != "" {
 			s.TraceSink = &trace.Trace{}
+		}
+		var buf *etrace.Buffer
+		var sp *etrace.Sampler
+		if eventTracing {
+			buf = etrace.NewBuffer(*traceLimit)
+			buf.Name = kind.String()
+			sp = etrace.NewSampler(*traceWindow)
+			sp.Name = kind.String()
+			s.AttachEventTrace(buf, sp)
 		}
 		params := bench.Params
 		if params == nil {
@@ -132,6 +147,20 @@ func main() {
 			}
 			f.Close()
 			fmt.Printf("trace         %d requests -> %s\n", s.TraceSink.Len(), *traceOut)
+		}
+		if *eventOut != "" {
+			if err := writeChromeFile(*eventOut, []*etrace.Buffer{buf}, []*etrace.Sampler{sp}); err != nil {
+				fail(err)
+			}
+			fmt.Printf("event trace   %d events (%d dropped), %d samples -> %s\n",
+				buf.Len(), buf.Dropped(), len(sp.Samples), *eventOut)
+		}
+		if *traceCSV != "" {
+			if err := writeCSVFile(*traceCSV, sp); err != nil {
+				fail(err)
+			}
+			fmt.Printf("trace csv     %d samples (window %d cycles) -> %s\n",
+				len(sp.Samples), sp.Window, *traceCSV)
 		}
 	} else if *compare && kind != design.Baseline {
 		// The design and its baseline are independent runs; fan them out
@@ -171,6 +200,30 @@ func main() {
 			fail(err)
 		}
 	}
+}
+
+func writeChromeFile(path string, bufs []*etrace.Buffer, sps []*etrace.Sampler) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := etrace.WriteChrome(f, bufs, sps); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeCSVFile(path string, sp *etrace.Sampler) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := etrace.WriteCSV(f, sp); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // statsReport is the machine-readable form of the run: functional results

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"sam/internal/dram"
+	"sam/internal/etrace"
 	"sam/internal/mc"
 	"sam/internal/prof"
 	"sam/internal/stats"
@@ -33,6 +34,10 @@ func main() {
 	rram := flag.Bool("rram", false, "replay against the RRAM personality")
 	seed := flag.Int64("seed", 1, "generator seed")
 	statsJSON := flag.String("stats-json", "", "write replay metrics as JSON to this file ('-' for stdout)")
+	eventOut := flag.String("trace-out", "", "write a cycle-accurate Chrome/Perfetto trace-event JSON of the replay")
+	traceCSV := flag.String("trace-csv", "", "write the windowed time-series samples as CSV to this file")
+	traceWindow := flag.Int64("trace-window", 2048, "sampling window for the trace time series (bus cycles)")
+	traceLimit := flag.Int("trace-limit", etrace.DefaultCapacity, "event-ring capacity; oldest events drop beyond this")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -83,7 +88,8 @@ func main() {
 				fail(err)
 			}
 		}
-		if err := report(tr, *rram, *statsJSON); err != nil {
+		topts := traceOpts{out: *eventOut, csv: *traceCSV, window: *traceWindow, limit: *traceLimit}
+		if err := report(tr, *rram, *statsJSON, topts); err != nil {
 			fail(err)
 		}
 		return
@@ -119,7 +125,16 @@ func generate(kind string, n, stride int, seed int64) (*trace.Trace, error) {
 	return tr, nil
 }
 
-func report(tr *trace.Trace, rram bool, statsJSON string) error {
+// traceOpts carries the event-tracing flags into the replay.
+type traceOpts struct {
+	out, csv string
+	window   int64
+	limit    int
+}
+
+func (o traceOpts) enabled() bool { return o.out != "" || o.csv != "" }
+
+func report(tr *trace.Trace, rram bool, statsJSON string, topts traceOpts) error {
 	cfg := dram.DDR4_2400()
 	if rram {
 		cfg = dram.RRAM()
@@ -128,8 +143,38 @@ func report(tr *trace.Trace, rram bool, statsJSON string) error {
 	ctrl := mc.NewController(dev, mc.DefaultConfig())
 	reg := stats.NewRegistry()
 	ctrl.Metrics = mc.NewMetrics(reg)
-	comps, err := trace.Replay(tr, ctrl)
+
+	// Event tracing: the replay stack is single-channel and freshly built,
+	// so the controller/device stats are already run-relative and the
+	// completion observer can drive the windowed sampler directly.
+	var buf *etrace.Buffer
+	var sp *etrace.Sampler
+	var obs func(mc.Completion)
+	if topts.enabled() {
+		buf = etrace.NewBuffer(topts.limit)
+		sp = etrace.NewSampler(topts.window)
+		ct := buf.Channel(0)
+		ctrl.Trace = ct
+		dev.Trace = ct
+		var hw dram.Cycle
+		obs = func(c mc.Completion) {
+			if c.DataEnd > hw {
+				hw = c.DataEnd
+			}
+			for sp.Due(int64(hw)) {
+				sp.Record(etrace.Sample{
+					At: sp.Advance(), Ctl: ctrl.Stats, Dev: dev.Stats.Clone(),
+					Queue: ctrl.Pending(),
+				})
+			}
+		}
+	}
+	comps, err := trace.ReplayObserved(tr, ctrl, obs)
 	if err != nil {
+		// Surface how far the replay got instead of discarding the partial
+		// result with the error.
+		fmt.Fprintf(os.Stderr, "samtrace: replay stopped after %d of %d requests completed\n",
+			len(comps), tr.Len())
 		return err
 	}
 
@@ -173,6 +218,36 @@ func report(tr *trace.Trace, rram bool, statsJSON string) error {
 	fmt.Printf("device cmds   ACT=%d PRE=%d REF=%d modeSwitch=%d\n",
 		dev.Stats.Acts, dev.Stats.Pres, dev.Stats.Refs, dev.Stats.ModeSwitches)
 
+	if topts.enabled() {
+		// Close the last partial window so the series totals match the run.
+		if n := len(sp.Samples); n == 0 || sp.Samples[n-1].At < int64(end) {
+			sp.Record(etrace.Sample{
+				At: int64(end), Ctl: ctrl.Stats, Dev: dev.Stats.Clone(),
+				Queue: ctrl.Pending(),
+			})
+		}
+		buf.Name = cfg.Name
+		sp.Name = cfg.Name
+		if topts.out != "" {
+			if err := writeTraceFile(topts.out, func(f *os.File) error {
+				return etrace.WriteChrome(f, []*etrace.Buffer{buf}, []*etrace.Sampler{sp})
+			}); err != nil {
+				return err
+			}
+			fmt.Printf("event trace   %d events (%d dropped), %d samples -> %s\n",
+				buf.Len(), buf.Dropped(), len(sp.Samples), topts.out)
+		}
+		if topts.csv != "" {
+			if err := writeTraceFile(topts.csv, func(f *os.File) error {
+				return etrace.WriteCSV(f, sp)
+			}); err != nil {
+				return err
+			}
+			fmt.Printf("trace csv     %d samples (window %d cycles) -> %s\n",
+				len(sp.Samples), sp.Window, topts.csv)
+		}
+	}
+
 	if statsJSON != "" {
 		out := struct {
 			Device   string
@@ -192,4 +267,16 @@ func report(tr *trace.Trace, rram bool, statsJSON string) error {
 		return os.WriteFile(statsJSON, enc, 0o644)
 	}
 	return nil
+}
+
+func writeTraceFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -115,7 +115,14 @@ func NewSystem(kind design.Kind, opts design.Options, w Workload, colStore bool)
 // row-preferring full-record scans.
 func RunOne(kind design.Kind, opts design.Options, w Workload, q BenchQuery) (*sim.QueryResult, error) {
 	colStore := kind == design.Ideal && q.Class == ClassQ
-	s := NewSystem(kind, opts, w, colStore)
+	return RunOn(NewSystem(kind, opts, w, colStore), q)
+}
+
+// RunOn executes one benchmark query on an already-built system, applying
+// the same compile and scan-shape rules as RunOne. Tools that attach
+// extras to the system first (event tracing, fault injection) run through
+// this.
+func RunOn(s *sim.System, q BenchQuery) (*sim.QueryResult, error) {
 	stmt, err := sql.Parse(q.SQL)
 	if err != nil {
 		return nil, err

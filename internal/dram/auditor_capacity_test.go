@@ -1,0 +1,132 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// auditDriver issues greedy protocol-clean accesses on one device,
+// recording every command (same pattern as TestRandomScheduleAuditClean,
+// minus refreshes) so capacity tests can drive the auditor in rounds.
+type auditDriver struct {
+	a    *Auditor
+	d    *Device
+	rng  *rand.Rand
+	open map[[3]int]int
+	now  Cycle
+	all  []TimedCommand // full stream in issue order
+}
+
+func newAuditDriver(a *Auditor) *auditDriver {
+	return &auditDriver{
+		a:    a,
+		d:    NewDevice(testCfg()),
+		rng:  rand.New(rand.NewSource(0xCAFE)),
+		open: map[[3]int]int{},
+	}
+}
+
+func (dr *auditDriver) issue(cmd Command) {
+	at := dr.d.EarliestIssue(cmd, dr.now)
+	dr.d.Issue(cmd, at)
+	dr.a.Record(cmd, at)
+	dr.all = append(dr.all, TimedCommand{Cmd: cmd, At: at})
+	dr.now = at
+}
+
+// drive issues n read accesses (with the PRE/ACT each needs).
+func (dr *auditDriver) drive(n int) {
+	for i := 0; i < n; i++ {
+		k := [3]int{dr.rng.Intn(2), dr.rng.Intn(4), dr.rng.Intn(4)}
+		row := dr.rng.Intn(64)
+		if cur, ok := dr.open[k]; ok && cur != row {
+			dr.issue(Command{Kind: CmdPRE, Rank: k[0], Group: k[1], Bank: k[2]})
+			delete(dr.open, k)
+		}
+		if _, ok := dr.open[k]; !ok {
+			dr.issue(Command{Kind: CmdACT, Rank: k[0], Group: k[1], Bank: k[2], Row: row})
+			dr.open[k] = row
+		}
+		dr.issue(Command{Kind: CmdRD, Rank: k[0], Group: k[1], Bank: k[2], Row: dr.open[k], Col: dr.rng.Intn(32), Mode: ModeX4})
+	}
+}
+
+// TestAuditorUnboundedDefault pins the default: without SetCapacity the
+// auditor retains everything, which the differential tests depend on.
+func TestAuditorUnboundedDefault(t *testing.T) {
+	a := NewAuditor(testCfg())
+	dr := newAuditDriver(a)
+	dr.drive(500)
+	if got := len(a.History()); got != len(dr.all) {
+		t.Fatalf("retained %d of %d commands", got, len(dr.all))
+	}
+	if a.Dropped() != 0 {
+		t.Fatalf("dropped %d with no capacity set", a.Dropped())
+	}
+	if !a.Ok() {
+		t.Fatalf("violations: %v", a.Violations)
+	}
+}
+
+// TestAuditorCapacityBoundsHistory checks the ring bound: the history
+// never exceeds the capacity, the drop counter accounts for everything
+// recorded, and the retained window is exactly the newest suffix of the
+// stream.
+func TestAuditorCapacityBoundsHistory(t *testing.T) {
+	a := NewAuditor(testCfg())
+	const capacity = 64
+	a.SetCapacity(capacity)
+	dr := newAuditDriver(a)
+	dr.drive(500)
+
+	hist := a.History()
+	if len(hist) > capacity {
+		t.Fatalf("retained %d commands, capacity %d", len(hist), capacity)
+	}
+	if a.Dropped() == 0 {
+		t.Fatal("no drops after exceeding capacity")
+	}
+	if got, want := uint64(len(hist))+a.Dropped(), uint64(len(dr.all)); got != want {
+		t.Fatalf("retained %d + dropped %d != recorded %d", len(hist), a.Dropped(), want)
+	}
+	tail := dr.all[len(dr.all)-len(hist):]
+	for i, tc := range hist {
+		if tc != tail[i] {
+			t.Fatalf("retained[%d] = %v, want newest suffix %v", i, tc, tail[i])
+		}
+	}
+	// Validation over the retained window alone must stay clean: the
+	// stream was protocol-correct, and dropping a prefix cannot introduce
+	// false violations.
+	if !a.Ok() {
+		t.Fatalf("violations on retained window: %v", a.Violations)
+	}
+}
+
+// TestAuditorCapacityInterleavedValidate drops across repeated Validate
+// calls: the checked watermark must track the shifted history so earlier
+// work is neither lost nor double-counted.
+func TestAuditorCapacityInterleavedValidate(t *testing.T) {
+	a := NewAuditor(testCfg())
+	a.SetCapacity(32)
+	dr := newAuditDriver(a)
+	for round := 0; round < 5; round++ {
+		dr.drive(60)
+		if !a.Ok() {
+			t.Fatalf("round %d: violations: %v", round, a.Violations)
+		}
+	}
+	if a.Dropped() == 0 {
+		t.Fatal("expected drops across rounds")
+	}
+}
+
+// TestAuditorSetCapacityNegative treats n <= 0 as unbounded.
+func TestAuditorSetCapacityNegative(t *testing.T) {
+	a := NewAuditor(testCfg())
+	a.SetCapacity(-5)
+	newAuditDriver(a).drive(200)
+	if a.Dropped() != 0 {
+		t.Fatalf("negative capacity dropped %d commands", a.Dropped())
+	}
+}

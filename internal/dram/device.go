@@ -185,6 +185,14 @@ func (rk *rankState) recordAct(at Cycle) {
 	}
 }
 
+// CmdTracer observes every command the device applies, together with its
+// issue time and result. It is the device-side event-tracing hook
+// (implemented by internal/etrace); the field is consulted only when
+// non-nil, so the disabled path costs one predictable branch.
+type CmdTracer interface {
+	CommandIssued(cmd Command, at Cycle, res IssueResult)
+}
+
 // Device is one memory channel's worth of DRAM (or RRAM) state: per-bank
 // timing, per-rank mode registers and refresh, and the shared data bus.
 type Device struct {
@@ -197,6 +205,10 @@ type Device struct {
 	busOwnerGang bool
 	busEverUsed  bool
 	Stats        DeviceStats
+
+	// Trace, when set, receives every issued command (cycle-accurate event
+	// tracing; see internal/etrace).
+	Trace CmdTracer
 }
 
 // NewDevice builds a device for the configuration; it panics if the
@@ -466,6 +478,15 @@ type IssueResult struct {
 // is required to consult EarliestIssue first, and a violation is a
 // simulator bug, not a runtime condition.
 func (d *Device) Issue(cmd Command, at Cycle) IssueResult {
+	res := d.apply(cmd, at)
+	if d.Trace != nil {
+		d.Trace.CommandIssued(cmd, at, res)
+	}
+	return res
+}
+
+// apply performs Issue's state transition and returns the result.
+func (d *Device) apply(cmd Command, at Cycle) IssueResult {
 	if e := d.EarliestIssue(cmd, at); e > at {
 		panic(fmt.Sprintf("dram: %v issued at %d, legal at %d", cmd, at, e))
 	}

@@ -1,0 +1,145 @@
+package etrace
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Summary reports what a validated trace contains.
+type Summary struct {
+	Events   int // total trace events
+	Slices   int // complete ("X") slices
+	Counters int // counter ("C") samples
+	Spans    int // balanced async begin/end pairs
+	Tracks   int // distinct (pid, tid) pairs carrying slices
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("%d events: %d slices on %d tracks, %d spans, %d counter samples",
+		s.Events, s.Slices, s.Tracks, s.Spans, s.Counters)
+}
+
+// rawEvent is the schema ValidateChrome checks events against.
+type rawEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   *float64       `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	ID   string         `json:"id"`
+	Args map[string]any `json:"args"`
+}
+
+type trackID struct{ pid, tid int64 }
+type spanID struct{ cat, id string }
+
+// ValidateChrome checks that data is well-formed Chrome trace-event JSON
+// with the invariants our exporter guarantees and trace viewers rely on:
+// a known phase on every event, a timestamp on every non-metadata event,
+// named non-negative-duration "X" slices in non-decreasing, non-overlapping
+// time order per (pid, tid) track, counters with non-empty args, and async
+// "b"/"e" pairs that balance per (cat, id) with the end at or after the
+// begin. Both the {"traceEvents":[...]} object form and a bare event array
+// are accepted. The CI trace-smoke job runs this via scripts/tracecheck.
+func ValidateChrome(data []byte) (Summary, error) {
+	var sum Summary
+	var container struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	events := container.TraceEvents
+	if err := json.Unmarshal(data, &container); err != nil {
+		// Not an object — try the bare-array form.
+		var arr []json.RawMessage
+		if aerr := json.Unmarshal(data, &arr); aerr != nil {
+			return sum, fmt.Errorf("trace is neither an object with traceEvents nor an array: %v", err)
+		}
+		events = arr
+	} else {
+		events = container.TraceEvents
+		if events == nil {
+			return sum, fmt.Errorf("trace object has no traceEvents array")
+		}
+	}
+
+	type sliceState struct {
+		lastTs  float64
+		lastEnd float64
+		seen    bool
+	}
+	slices := map[trackID]*sliceState{}
+	spans := map[spanID][]float64{} // open begin timestamps
+	for i, raw := range events {
+		var e rawEvent
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return sum, fmt.Errorf("event %d: malformed: %v", i, err)
+		}
+		sum.Events++
+		switch e.Ph {
+		case "M":
+			continue // metadata carries no timestamp
+		case "X", "C", "b", "n", "e", "i":
+		default:
+			return sum, fmt.Errorf("event %d (%q): unknown phase %q", i, e.Name, e.Ph)
+		}
+		if e.Ts == nil {
+			return sum, fmt.Errorf("event %d (%q, ph=%s): missing ts", i, e.Name, e.Ph)
+		}
+		ts := *e.Ts
+		switch e.Ph {
+		case "X":
+			if e.Name == "" {
+				return sum, fmt.Errorf("event %d: unnamed slice", i)
+			}
+			if e.Dur < 0 {
+				return sum, fmt.Errorf("event %d (%q): negative dur %g", i, e.Name, e.Dur)
+			}
+			st := slices[trackID{e.Pid, e.Tid}]
+			if st == nil {
+				st = &sliceState{}
+				slices[trackID{e.Pid, e.Tid}] = st
+			}
+			if st.seen {
+				if ts < st.lastTs {
+					return sum, fmt.Errorf("event %d (%q): ts %g before previous slice ts %g on track pid=%d tid=%d",
+						i, e.Name, ts, st.lastTs, e.Pid, e.Tid)
+				}
+				if ts < st.lastEnd {
+					return sum, fmt.Errorf("event %d (%q): ts %g overlaps previous slice ending %g on track pid=%d tid=%d",
+						i, e.Name, ts, st.lastEnd, e.Pid, e.Tid)
+				}
+			}
+			st.seen = true
+			st.lastTs = ts
+			st.lastEnd = ts + e.Dur
+			sum.Slices++
+		case "C":
+			if len(e.Args) == 0 {
+				return sum, fmt.Errorf("event %d (%q): counter without args", i, e.Name)
+			}
+			sum.Counters++
+		case "b":
+			spans[spanID{e.Cat, e.ID}] = append(spans[spanID{e.Cat, e.ID}], ts)
+		case "e":
+			open := spans[spanID{e.Cat, e.ID}]
+			if len(open) == 0 {
+				return sum, fmt.Errorf("event %d (%q): async end without begin (cat=%q id=%q)", i, e.Name, e.Cat, e.ID)
+			}
+			begin := open[len(open)-1]
+			if ts < begin {
+				return sum, fmt.Errorf("event %d (%q): async end at %g before begin at %g (cat=%q id=%q)",
+					i, e.Name, ts, begin, e.Cat, e.ID)
+			}
+			spans[spanID{e.Cat, e.ID}] = open[:len(open)-1]
+			sum.Spans++
+		}
+	}
+	for k, open := range spans {
+		if len(open) > 0 {
+			return sum, fmt.Errorf("%d unclosed async span(s) for cat=%q id=%q", len(open), k.cat, k.id)
+		}
+	}
+	sum.Tracks = len(slices)
+	return sum, nil
+}

@@ -93,6 +93,24 @@ func (s *Stats) Add(o Stats) {
 	}
 }
 
+// Tracer observes the controller's request lifecycle: enqueue, the moment
+// FR-FCFS schedules a request, and its completion. It is the request-level
+// event-tracing hook (implemented by internal/etrace); the Trace field is
+// consulted only when non-nil, so with tracing disabled the service loop
+// stays on the decode-once, allocation-free fast path. Per-command events
+// are emitted by the device (dram.CmdTracer), not here.
+type Tracer interface {
+	// ReqEnqueued fires after the request is queued. bank is the flat
+	// Device.BankIndex of its decoded address; queueDepth counts both
+	// queues after the insert.
+	ReqEnqueued(at dram.Cycle, r Request, bank int32, queueDepth int)
+	// ReqScheduled fires when the scheduler dequeues the request, after
+	// the controller clock has caught up to its arrival.
+	ReqScheduled(at dram.Cycle, r Request, bank int32)
+	// ReqCompleted fires once the request's column access is resolved.
+	ReqCompleted(comp Completion, bank int32)
+}
+
 // Controller schedules requests onto one dram.Device with FR-FCFS and an
 // open-page policy. It is single-channel, matching the paper's setup; the
 // simulator instantiates one per channel.
@@ -122,6 +140,8 @@ type Controller struct {
 	// Metrics, when set, observes per-request-class latency and queue
 	// occupancy distributions (see NewMetrics).
 	Metrics *Metrics
+	// Trace, when set, receives request-lifecycle events (see Tracer).
+	Trace Tracer
 }
 
 // LatencyBounds are the default request-latency bucket upper bounds in bus
@@ -254,6 +274,9 @@ func (c *Controller) Enqueue(r Request) {
 			c.Metrics.QueueRead.Observe(uint64(c.readQ.n))
 		}
 	}
+	if c.Trace != nil {
+		c.Trace.ReqEnqueued(r.Arrival, r, bank, c.Pending())
+	}
 }
 
 // Now returns the controller's current time.
@@ -273,6 +296,9 @@ func (c *Controller) ServiceOne() (Completion, bool) {
 	if c.now < e.req.Arrival {
 		c.now = e.req.Arrival
 	}
+	if c.Trace != nil {
+		c.Trace.ReqScheduled(c.now, e.req, e.bank)
+	}
 	c.serviceRefresh()
 	c.prepareAhead(q, &e)
 	comp := c.access(&e)
@@ -289,6 +315,9 @@ func (c *Controller) ServiceOne() (Completion, bool) {
 		c.Stats.StrideAccesses++
 	}
 	c.Stats.BusCycleOfLastAccess = comp.DataEnd
+	if c.Trace != nil {
+		c.Trace.ReqCompleted(comp, e.bank)
+	}
 	return comp, true
 }
 

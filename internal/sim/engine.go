@@ -7,6 +7,7 @@ import (
 	"sam/internal/design"
 	"sam/internal/dram"
 	"sam/internal/ecc"
+	"sam/internal/etrace"
 	"sam/internal/mc"
 	"sam/internal/power"
 	"sam/internal/stats"
@@ -35,6 +36,11 @@ type engine struct {
 	t0      dram.Cycle
 	devBase []dram.DeviceStats
 	ctlBase []mc.Stats
+
+	// sampleClock is the high-water completion time (absolute bus cycles)
+	// driving the windowed sampler: completions across channels arrive out
+	// of order, so the sampler is advanced on a ratcheted maximum.
+	sampleClock dram.Cycle
 
 	// reg collects this run's distribution instruments. A fresh registry
 	// (and mc.Metrics) is attached per run, so histograms need no baseline
@@ -101,6 +107,9 @@ func (e *engine) serviceOne() bool {
 			continue
 		}
 		e.nextChan = (e.nextChan + i + 1) % n
+		if e.sys.Sampler != nil {
+			e.noteTime(comp.DataEnd)
+		}
 		if !comp.Req.IsWrite {
 			e.inflight--
 			if e.sys.Faults != nil {
@@ -110,6 +119,35 @@ func (e *engine) serviceOne() bool {
 		return true
 	}
 	return false
+}
+
+// noteTime ratchets the sampler clock to a completion time and records a
+// sample for every window boundary it crossed.
+func (e *engine) noteTime(at dram.Cycle) {
+	if at > e.sampleClock {
+		e.sampleClock = at
+	}
+	sp := e.sys.Sampler
+	for sp.Due(int64(e.sampleClock - e.t0)) {
+		e.recordSample(sp.Advance())
+	}
+}
+
+// recordSample snapshots the run-relative cumulative statistics (summed
+// across channels) at boundary at. Queue depth and inflight are the levels
+// at record time — sampled, like any profiler counter.
+func (e *engine) recordSample(at int64) {
+	var dev dram.DeviceStats
+	var ctl mc.Stats
+	queue := 0
+	for ch := 0; ch < e.sys.Channels(); ch++ {
+		dev.Add(e.sys.devices[ch].Stats.Sub(e.devBase[ch]))
+		ctl.Add(e.sys.controllers[ch].Stats.Sub(e.ctlBase[ch]))
+		queue += e.sys.controllers[ch].Pending()
+	}
+	e.sys.Sampler.Record(etrace.Sample{
+		At: at, Ctl: ctl, Dev: dev, Queue: queue, Inflight: e.inflight,
+	})
 }
 
 // injectFault applies the dead-chip model to one read burst. The first
@@ -277,6 +315,17 @@ func (e *engine) finish() RunStats {
 		}
 		dev.Add(e.sys.devices[ch].Stats.Sub(e.devBase[ch]))
 		ctl.Add(cs.Sub(e.ctlBase[ch]))
+	}
+	if sp := e.sys.Sampler; sp != nil {
+		rel := int64(end - e.t0)
+		for sp.Due(rel) {
+			e.recordSample(sp.Advance())
+		}
+		// A final flush sample at the run's end closes the last partial
+		// window, so the series' cumulative totals equal the RunStats.
+		if n := len(sp.Samples); n == 0 || sp.Samples[n-1].At < rel {
+			e.recordSample(rel)
+		}
 	}
 	end -= e.t0
 	act := power.Activity{

@@ -12,6 +12,7 @@ import (
 	"sam/internal/cpu"
 	"sam/internal/design"
 	"sam/internal/dram"
+	"sam/internal/etrace"
 	"sam/internal/imdb"
 	"sam/internal/mc"
 	"sam/internal/power"
@@ -61,6 +62,14 @@ type System struct {
 
 	// TraceSink, when set, records every memory request the run issues.
 	TraceSink *trace.Trace
+
+	// Events and Sampler are the cycle-accurate event-trace attachments
+	// (set via AttachEventTrace): Events receives every request-lifecycle
+	// and DRAM-command event, Sampler is fed windowed statistics snapshots
+	// by the run engine. Use a fresh Sampler per run — its window clock is
+	// run-relative.
+	Events  *etrace.Buffer
+	Sampler *etrace.Sampler
 }
 
 // FaultModel configures fault injection.
@@ -100,6 +109,7 @@ func (s *System) reset() {
 	}
 	s.Device = s.devices[0]
 	s.Controller = s.controllers[0]
+	s.wireEventTrace()
 	s.route = mc.NewAddrMap(s.Design.Mem.Geometry)
 	sectors := s.Design.SectorsPerLine()
 	lb := s.Design.Mem.Geometry.LineBytes
@@ -107,6 +117,32 @@ func (s *System) reset() {
 	l2 := cache.New(cache.Config{Name: "L2", SizeBytes: s.Caches.L2Bytes, LineBytes: lb, Ways: s.Caches.Ways, Sectors: sectors, HitLatency: 12})
 	llc := cache.New(cache.Config{Name: "LLC", SizeBytes: s.Caches.LLCBytes, LineBytes: lb, Ways: s.Caches.Ways, Sectors: sectors, HitLatency: 38})
 	s.Hierarchy = cache.NewHierarchy(l1, l2, llc)
+}
+
+// AttachEventTrace wires a cycle-accurate event trace into every channel:
+// buf's per-channel tracers observe both the controller's request lifecycle
+// and the device's command stream, and sp (optional) receives windowed
+// statistics samples from the run engine. Passing a nil buf detaches
+// tracing again. The attachment survives reset.
+func (s *System) AttachEventTrace(buf *etrace.Buffer, sp *etrace.Sampler) {
+	s.Events = buf
+	s.Sampler = sp
+	s.wireEventTrace()
+}
+
+// wireEventTrace applies the Events attachment to the current controller
+// and device set (reset rebuilds them, so it re-runs there).
+func (s *System) wireEventTrace() {
+	for ch := range s.controllers {
+		if s.Events != nil {
+			t := s.Events.Channel(ch)
+			s.controllers[ch].Trace = t
+			s.devices[ch].Trace = t
+		} else {
+			s.controllers[ch].Trace = nil
+			s.devices[ch].Trace = nil
+		}
+	}
 }
 
 // Channels returns the channel count.

@@ -195,16 +195,38 @@ func parseLine(text string) (Record, error) {
 // behaviour broke out of the loop and enqueued anyway, silently pushing
 // past queue capacity (which the controller now treats as a caller bug).
 func Replay(t *Trace, c *mc.Controller) ([]mc.Completion, error) {
+	return ReplayObserved(t, c, nil)
+}
+
+// ReplayObserved is Replay with a completion observer: obs (when non-nil)
+// sees every completion as it retires, in service order — samtrace uses it
+// to drive the windowed trace sampler. The returned slice is preallocated
+// to the trace length and reused on every path, including the drain and the
+// error return, so partial results carry no extra allocation and callers
+// can report how far a failed replay got.
+func ReplayObserved(t *Trace, c *mc.Controller, obs func(mc.Completion)) ([]mc.Completion, error) {
 	comps := make([]mc.Completion, 0, len(t.Records))
+	take := func(comp mc.Completion) {
+		if obs != nil {
+			obs(comp)
+		}
+		comps = append(comps, comp)
+	}
 	for i, rec := range t.Records {
 		for !c.CanAccept(rec.IsWrite) {
 			comp, ok := c.ServiceOne()
 			if !ok {
 				return comps, fmt.Errorf("trace: record %d: controller at capacity with nothing to service", i)
 			}
-			comps = append(comps, comp)
+			take(comp)
 		}
 		c.Enqueue(rec.Request(uint64(i)))
 	}
-	return append(comps, c.Drain()...), nil
+	for {
+		comp, ok := c.ServiceOne()
+		if !ok {
+			return comps, nil
+		}
+		take(comp)
+	}
 }

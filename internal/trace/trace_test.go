@@ -248,3 +248,52 @@ func FuzzRead(f *testing.F) {
 		}
 	})
 }
+
+func TestReplayObservedSeesEveryCompletionInOrder(t *testing.T) {
+	dev := dram.NewDevice(dram.DDR4_2400())
+	ctrl := mc.NewController(dev, mc.DefaultConfig())
+	tr := &Trace{}
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 300; i++ {
+		tr.Add(Record{
+			Addr:    uint64(rng.Intn(1 << 24)),
+			IsWrite: rng.Intn(4) == 0,
+			Stride:  rng.Intn(3) == 0,
+			Lane:    rng.Intn(4),
+			Arrival: dram.Cycle(i * 2),
+		})
+	}
+	var seen []mc.Completion
+	comps, err := ReplayObserved(tr, ctrl, func(c mc.Completion) { seen = append(seen, c) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seen, comps) {
+		t.Fatalf("observer saw %d completions, return slice has %d (or order differs)", len(seen), len(comps))
+	}
+	if len(comps) != tr.Len() {
+		t.Fatalf("%d completions for %d records", len(comps), tr.Len())
+	}
+}
+
+func TestReplayObservedNilEqualsReplay(t *testing.T) {
+	run := func(observe bool) []mc.Completion {
+		dev := dram.NewDevice(dram.DDR4_2400())
+		ctrl := mc.NewController(dev, mc.DefaultConfig())
+		tr := sampleTrace()
+		var comps []mc.Completion
+		var err error
+		if observe {
+			comps, err = ReplayObserved(tr, ctrl, func(mc.Completion) {})
+		} else {
+			comps, err = Replay(tr, ctrl)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return comps
+	}
+	if !reflect.DeepEqual(run(false), run(true)) {
+		t.Fatal("Replay and ReplayObserved diverge")
+	}
+}

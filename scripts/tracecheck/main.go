@@ -1,0 +1,35 @@
+// Command tracecheck validates a Chrome trace-event JSON file against the
+// invariants the etrace exporter guarantees (known phases, named
+// non-overlapping slices in time order per track, balanced async spans,
+// counters with values) and prints a one-line summary. The CI trace-smoke
+// job runs it on a samsim -trace-out artifact.
+//
+// Usage:
+//
+//	go run ./scripts/tracecheck trace.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"sam/internal/etrace"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+	sum, err := etrace.ValidateChrome(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s: INVALID: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: OK: %s\n", os.Args[1], sum)
+}
