@@ -49,7 +49,7 @@ type metricsFile struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, table3, fig12, fig13, fig14a, fig14b, fig14c, fig15a..fig15i, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, table3, fig12, fig13, fig14a, fig14b, fig14c, fig15a..fig15i, reliability, all")
 	taRecords := flag.Int("ta", 0, "records in the wide table Ta (0 = default)")
 	tbRecords := flag.Int("tb", 0, "records in the narrow table Tb (0 = default)")
 	sweepRecords := flag.Int("sweep-records", 2048, "table records per Fig.15 sweep point")
@@ -58,6 +58,7 @@ func main() {
 	workers := flag.Int("workers", 0, "max parallel simulations per sweep (0 = GOMAXPROCS, 1 = serial)")
 	progress := flag.Bool("progress", false, "report per-sweep progress on stderr")
 	metricsDir := flag.String("metrics-dir", "", "dump per-figure run metrics as JSON files into this directory")
+	relOut := flag.String("reliability-out", "", "write the reliability campaign summary as JSON to this file")
 	traceOut := flag.String("trace-out", "", "write a side-by-side Chrome/Perfetto event trace of -trace-design vs the baseline, then exit (skips -exp)")
 	traceBench := flag.String("trace-bench", "Q3", "benchmark query to trace with -trace-out")
 	traceDesign := flag.String("trace-design", "SAM-en", "design to trace against the baseline")
@@ -203,6 +204,46 @@ func main() {
 	if wants("fig14c") {
 		emit("Fig 14c: area and storage overhead", core.Fig14c().Table())
 	}
+	if wants("reliability") {
+		camp := core.DefaultReliabilityCampaign()
+		results, err := core.RunReliability(ctx, camp, par("reliability"))
+		if err != nil {
+			fail(err)
+		}
+		tb := stats.NewTable("design", "bits", "scheme", "model", "rate",
+			"bursts", "injected", "corrected", "DUE", "silent", "retries", "poisoned")
+		for _, r := range results {
+			rate := "-"
+			if r.Model == core.ModelTransient {
+				rate = fmt.Sprintf("%g", r.Rate)
+			}
+			tb.AddRow(r.Design, fmt.Sprintf("%d", r.Bits), r.Scheme, r.Model, rate,
+				fmt.Sprintf("%d", r.Counters.Bursts), fmt.Sprintf("%d", r.Counters.Injected),
+				fmt.Sprintf("%d", r.Counters.CorrectedBursts), fmt.Sprintf("%d", r.Counters.DUEs),
+				fmt.Sprintf("%d", r.Counters.SilentCorruptions),
+				fmt.Sprintf("%d", r.Retries), fmt.Sprintf("%d", r.Poisoned))
+		}
+		emit("Reliability: fault campaign (chipkill at the burst boundary)", tb)
+		if *relOut != "" {
+			summary := struct {
+				Seed     uint64                   `json:"seed"`
+				TotalSDC uint64                   `json:"total_sdc"`
+				Cells    []core.ReliabilityResult `json:"cells"`
+			}{camp.Seed, core.TotalSDC(results), results}
+			enc, err := json.MarshalIndent(summary, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			enc = append(enc, '\n')
+			if err := os.WriteFile(*relOut, enc, 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "samfig: wrote %s (%d cells)\n", *relOut, len(results))
+		}
+		if n := core.TotalSDC(results); n != 0 {
+			fail(fmt.Errorf("reliability campaign took %d silent data corruptions", n))
+		}
+	}
 
 	type sweep struct {
 		name string
@@ -262,6 +303,7 @@ func main() {
 	known := map[string]bool{
 		"all": true, "table1": true, "table2": true, "table3": true,
 		"fig12": true, "fig13": true, "fig14a": true, "fig14b": true, "fig14c": true, "fig15": true,
+		"reliability": true,
 	}
 	for _, sw := range sweeps {
 		known[sw.name] = true

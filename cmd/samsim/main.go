@@ -16,10 +16,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 
 	"sam/internal/core"
 	"sam/internal/design"
 	"sam/internal/etrace"
+	"sam/internal/fault"
 	"sam/internal/imdb"
 	"sam/internal/prof"
 	"sam/internal/runner"
@@ -46,7 +49,12 @@ func main() {
 	tbRecords := flag.Int("tb", 0, "records in Tb (0 = default)")
 	compare := flag.Bool("compare", false, "also run the baseline and report speedup")
 	workers := flag.Int("workers", 0, "max parallel simulations for -compare (0 = GOMAXPROCS)")
-	faultChip := flag.Int("faultchip", -1, "inject a dead chip at this index (chipkill study)")
+	faultChip := flag.Int("faultchip", -1, "inject a dead chip at this index on every rank (chipkill study)")
+	faultRate := flag.Float64("fault-rate", 0, "per-burst transient fault probability (0..1)")
+	faultSeed := flag.Uint64("fault-seed", 0, "fault-injection seed (0 = workload seed)")
+	faultChips := flag.String("fault-chips", "", "comma-separated dead-chip indices, each as chip or rank:chip (-1 rank = all)")
+	faultStuck := flag.String("fault-stuck", "", "comma-separated stuck DQ lines, each as chip:dq:value (value 0 or 1)")
+	faultRetries := flag.Int("fault-retries", 0, "read-retry budget before poisoning (0 = controller default)")
 	traceOut := flag.String("trace", "", "dump the memory request trace to this file")
 	eventOut := flag.String("trace-out", "", "write a cycle-accurate Chrome/Perfetto trace-event JSON to this file")
 	traceCSV := flag.String("trace-csv", "", "write the windowed time-series samples as CSV to this file")
@@ -106,16 +114,21 @@ func main() {
 		fail(fmt.Errorf("provide -query or -bench"))
 	}
 
+	faults, err := buildFaultModel(*faultChip, *faultRate, *faultSeed, *faultChips, *faultStuck, *faultRetries, w.Seed)
+	if err != nil {
+		fail(err)
+	}
+
 	eventTracing := *eventOut != "" || *traceCSV != ""
 	var res, base *sim.QueryResult
-	if *faultChip >= 0 || *traceOut != "" || eventTracing {
+	if faults != nil || *traceOut != "" || eventTracing {
 		// Build the system by hand so the extras can be attached.
 		d := design.New(kind, design.Options{})
 		s := sim.NewSystem(d)
 		s.AddTable(imdb.NewTable(imdb.Ta(w.TaRecords), w.Seed), false)
 		s.AddTable(imdb.NewTable(imdb.Tb(w.TbRecords), w.Seed+1), false)
-		if *faultChip >= 0 {
-			s.Faults = &sim.FaultModel{DeadChip: *faultChip, Seed: w.Seed}
+		if faults != nil {
+			s.Faults = faults
 		}
 		if *traceOut != "" {
 			s.TraceSink = &trace.Trace{}
@@ -202,6 +215,69 @@ func main() {
 	}
 }
 
+// buildFaultModel assembles the run's fault configuration from the -fault-*
+// flags (nil when no fault option is set). The legacy -faultchip maps to a
+// dead chip on every rank.
+func buildFaultModel(legacyChip int, rate float64, seed uint64, chips, stuck string, retries int, wseed uint64) (*sim.FaultModel, error) {
+	cfg := &sim.FaultModel{Seed: seed, Rate: rate, MaxRetries: retries}
+	if cfg.Seed == 0 {
+		cfg.Seed = wseed
+	}
+	if legacyChip >= 0 {
+		cfg.DeadChips = append(cfg.DeadChips, fault.ChipFault{Rank: -1, Chip: legacyChip})
+	}
+	if chips != "" {
+		for _, tok := range strings.Split(chips, ",") {
+			parts := strings.Split(strings.TrimSpace(tok), ":")
+			var err error
+			cf := fault.ChipFault{Rank: -1}
+			switch len(parts) {
+			case 1:
+				cf.Chip, err = strconv.Atoi(parts[0])
+			case 2:
+				if cf.Rank, err = strconv.Atoi(parts[0]); err == nil {
+					cf.Chip, err = strconv.Atoi(parts[1])
+				}
+			default:
+				err = fmt.Errorf("want chip or rank:chip")
+			}
+			if err != nil {
+				return nil, fmt.Errorf("-fault-chips %q: %v", tok, err)
+			}
+			cfg.DeadChips = append(cfg.DeadChips, cf)
+		}
+	}
+	if stuck != "" {
+		for _, tok := range strings.Split(stuck, ",") {
+			parts := strings.Split(strings.TrimSpace(tok), ":")
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("-fault-stuck %q: want chip:dq:value", tok)
+			}
+			var sd fault.StuckDQ
+			sd.Rank = -1
+			var err error
+			if sd.Chip, err = strconv.Atoi(parts[0]); err == nil {
+				if sd.DQ, err = strconv.Atoi(parts[1]); err == nil {
+					var v int
+					v, err = strconv.Atoi(parts[2])
+					sd.Value = byte(v)
+				}
+			}
+			if err != nil {
+				return nil, fmt.Errorf("-fault-stuck %q: %v", tok, err)
+			}
+			cfg.StuckDQs = append(cfg.StuckDQs, sd)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Active() {
+		return nil, nil
+	}
+	return cfg, nil
+}
+
 func writeChromeFile(path string, bufs []*etrace.Buffer, sps []*etrace.Sampler) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -280,9 +356,12 @@ func report(designName string, q core.BenchQuery, r *sim.QueryResult) {
 		pct(st.Energy.RdWr, st.Energy.Total()),
 		pct(st.Energy.Refresh, st.Energy.Total()))
 	fmt.Printf("avg power     %.0f mW\n", st.PowerMW.Total())
-	if st.CorrectedBursts > 0 || st.UncorrectableBursts > 0 {
-		fmt.Printf("fault model   %d bursts corrected by chipkill, %d uncorrectable\n",
-			st.CorrectedBursts, st.UncorrectableBursts)
+	if rel := st.Reliability; rel != nil {
+		fmt.Printf("fault model   %d bursts probed, %d injected, %d corrected (%d symbols), %d DUE, %d silent\n",
+			rel.Bursts, rel.Injected, rel.CorrectedBursts, rel.CorrectedSymbols,
+			rel.DUEs, rel.SilentCorruptions)
+		fmt.Printf("reliability   %d retries, %d poisoned lines\n",
+			st.Controller.Retries, st.Controller.Poisoned)
 	}
 }
 

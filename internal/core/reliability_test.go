@@ -1,0 +1,140 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"sam/internal/design"
+	"sam/internal/ecc"
+)
+
+// testCampaign trims the default grid to test scale: same structure (every
+// scheme, every model), smaller tables.
+func testCampaign() ReliabilityCampaign {
+	camp := DefaultReliabilityCampaign()
+	camp.Workload = Workload{TaRecords: 512, TbRecords: 512, Seed: 0xDA7ABA5E}
+	camp.Rates = []float64{1e-2}
+	return camp
+}
+
+// TestReliabilityCampaignZeroSDC is the end-to-end acceptance run: the full
+// scheme x design x model grid, with every burst of every run pushed through
+// the real chipkill codec, must finish with zero silent data corruptions —
+// and with each model leaving the signature it exists to produce.
+func TestReliabilityCampaignZeroSDC(t *testing.T) {
+	camp := testCampaign()
+	results, err := RunReliability(context.Background(), camp, Par{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(camp.Cells()) {
+		t.Fatalf("%d results for %d cells", len(results), len(camp.Cells()))
+	}
+	if n := TotalSDC(results); n != 0 {
+		t.Fatalf("campaign took %d silent data corruptions", n)
+	}
+	schemes := map[string]bool{}
+	for _, r := range results {
+		schemes[r.Scheme] = true
+		c := r.Counters
+		if c.Bursts == 0 {
+			t.Errorf("%s/%dbit/%s: no bursts probed", r.Design, r.Bits, r.Model)
+		}
+		// Verdict accounting: every injected burst is corrected, detected,
+		// or silent — nothing leaks out of the taxonomy.
+		if c.CorrectedBursts+c.DUEs+c.SilentCorruptions != c.Injected {
+			t.Errorf("%s/%dbit/%s: verdicts %d+%d+%d don't cover %d injections",
+				r.Design, r.Bits, r.Model, c.CorrectedBursts, c.DUEs, c.SilentCorruptions, c.Injected)
+		}
+		switch r.Model {
+		case ModelDeadChip:
+			if c.CorrectedBursts == 0 || c.DUEs != 0 {
+				t.Errorf("%s/%dbit dead chip: corrected=%d DUEs=%d, want all corrected",
+					r.Design, r.Bits, c.CorrectedBursts, c.DUEs)
+			}
+		case ModelTwoChip:
+			if c.DUEs == 0 || r.Retries == 0 || r.Poisoned == 0 {
+				t.Errorf("%s/%dbit two-chip map: DUEs=%d retries=%d poisoned=%d, want the full poison path",
+					r.Design, r.Bits, c.DUEs, r.Retries, r.Poisoned)
+			}
+		case ModelTransient:
+			if c.DUEs != 0 {
+				t.Errorf("%s/%dbit transients: %d DUEs from single-chip events", r.Design, r.Bits, c.DUEs)
+			}
+		}
+	}
+	for _, want := range []string{"SSC", "SSC-variant", "SSC-DSD"} {
+		if !schemes[want] {
+			t.Errorf("campaign never exercised scheme %s (got %v)", want, schemes)
+		}
+	}
+}
+
+// TestReliabilityDeterministicReplay pins the replay contract end to end:
+// the same campaign seed must reproduce identical fault sites, retry
+// counts, and counters whether the grid runs serially or on eight workers.
+func TestReliabilityDeterministicReplay(t *testing.T) {
+	camp := testCampaign()
+	serial, err := RunReliability(context.Background(), camp, Par{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunReliability(context.Background(), camp, Par{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		for i := range serial {
+			if !reflect.DeepEqual(serial[i], parallel[i]) {
+				t.Fatalf("cell %d diverged across worker counts:\n  w1: %+v\n  w8: %+v",
+					i, serial[i], parallel[i])
+			}
+		}
+		t.Fatal("results diverged across worker counts")
+	}
+	// A different campaign seed must move the fault sites.
+	camp.Seed++
+	moved, err := RunReliability(context.Background(), camp, Par{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(serial, moved) {
+		t.Fatal("different campaign seeds replayed identically")
+	}
+}
+
+// TestReliabilityCellScoping pins the fault-model scoping rule the SSC
+// fuzzing result forces: multi-chip persistent maps appear only on
+// distance-5 SSC-DSD cells, and every two-chip map really names two
+// distinct chips within the scheme's rank width.
+func TestReliabilityCellScoping(t *testing.T) {
+	camp := DefaultReliabilityCampaign()
+	for i, cell := range camp.Cells() {
+		cfg := camp.faultsFor(cell, i)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s: invalid config: %v", cell.Label(), err)
+		}
+		if cell.Model == ModelTwoChip {
+			if cell.Scheme() != ecc.SchemeSSCDSD {
+				t.Errorf("%s: two-chip map outside the distance-5 scheme", cell.Label())
+			}
+			dead, stuck := cfg.DeadChips[0].Chip, cfg.StuckDQs[0].Chip
+			chips := ecc.NewChipkill(cell.Scheme()).Chips()
+			if dead == stuck || dead >= chips || stuck >= chips {
+				t.Errorf("%s: bad two-chip sites dead=%d stuck=%d", cell.Label(), dead, stuck)
+			}
+			continue
+		}
+		if len(cfg.DeadChips)+len(cfg.StuckDQs) > 1 {
+			t.Errorf("%s: multi-chip persistent map on a single-chip cell: %+v", cell.Label(), cfg)
+		}
+	}
+	// SAM-IO 8-bit cells decode against the transposed variant; SAM-en keeps
+	// the canonical orientation.
+	io := ReliabilityCell{Design: design.SAMIO, Gran: design.Gran8}
+	en := ReliabilityCell{Design: design.SAMEn, Gran: design.Gran8}
+	if io.Scheme() != ecc.SchemeSSCVariant || en.Scheme() != ecc.SchemeSSC {
+		t.Fatalf("orientation mapping broken: SAM-IO=%v SAM-en=%v", io.Scheme(), en.Scheme())
+	}
+}

@@ -134,6 +134,20 @@ type Design struct {
 // SupportsStride reports whether the design accelerates strided access.
 func (d *Design) SupportsStride() bool { return d.Gran.Reach > 1 }
 
+// BurstScheme returns the codeword-to-burst orientation the design's data
+// path realizes at the DRAM burst boundary — the layout the fault injector
+// must decode against. SAM-IO serializes each chip's I/O buffer over the
+// beats, transposing the burst, so with 8-bit symbols its codewords land in
+// the lane-wise Fig. 4c orientation; every other design (and the 4-bit
+// SSC-DSD geometry, whose beat-pair symbols survive the transpose) keeps
+// the scheme's canonical Fig. 4b mapping.
+func (d *Design) BurstScheme() ecc.Scheme {
+	if d.Kind == SAMIO && d.Chipkill == ecc.SchemeSSC {
+		return ecc.SchemeSSCVariant
+	}
+	return d.Chipkill
+}
+
 // SectorsPerLine returns the sector-cache geometry the design needs.
 func (d *Design) SectorsPerLine() int {
 	if !d.SupportsStride() {

@@ -193,6 +193,45 @@ type CmdTracer interface {
 	CommandIssued(cmd Command, at Cycle, res IssueResult)
 }
 
+// BurstVerdict is a data burst's fate after ECC decode: the zero value means
+// the burst arrived clean (or fault modeling is off entirely).
+type BurstVerdict uint8
+
+// Burst verdicts.
+const (
+	// BurstOK: no error, or nothing the consumer needs to act on.
+	BurstOK BurstVerdict = iota
+	// BurstCorrected: ECC corrected the burst in flight; data is good.
+	BurstCorrected
+	// BurstUncorrectable: a detected-uncorrectable error — the data is NOT
+	// trustworthy and the controller must retry or poison the line.
+	BurstUncorrectable
+)
+
+// String names the verdict.
+func (v BurstVerdict) String() string {
+	switch v {
+	case BurstOK:
+		return "ok"
+	case BurstCorrected:
+		return "corrected"
+	case BurstUncorrectable:
+		return "uncorrectable"
+	default:
+		return fmt.Sprintf("BurstVerdict(%d)", uint8(v))
+	}
+}
+
+// BurstProbe observes every data-carrying burst (RD/WR column access) at the
+// moment the device moves it, and rules on its integrity — the hook
+// internal/fault implements to push each burst through chipkill
+// encode/decode with injected faults. Like Trace, the field is consulted
+// only when non-nil, keeping the fault-free fast path allocation- and
+// call-free.
+type BurstProbe interface {
+	DataBurst(cmd Command, at Cycle) BurstVerdict
+}
+
 // Device is one memory channel's worth of DRAM (or RRAM) state: per-bank
 // timing, per-rank mode registers and refresh, and the shared data bus.
 type Device struct {
@@ -209,6 +248,10 @@ type Device struct {
 	// Trace, when set, receives every issued command (cycle-accurate event
 	// tracing; see internal/etrace).
 	Trace CmdTracer
+
+	// Probe, when set, adjudicates every data burst the device moves
+	// (fault injection + ECC decode; see internal/fault).
+	Probe BurstProbe
 }
 
 // NewDevice builds a device for the configuration; it panics if the
@@ -471,6 +514,9 @@ type IssueResult struct {
 	Done Cycle
 	// ModeSwitched reports that the rank's I/O mode register changed.
 	ModeSwitched bool
+	// Fault is the Probe's ruling on the data burst (RD/WR only); BurstOK
+	// whenever no probe is attached.
+	Fault BurstVerdict
 }
 
 // Issue applies cmd at cycle at. It panics when the command is illegal
@@ -638,5 +684,8 @@ func (d *Device) issueColumn(cmd Command, at Cycle) IssueResult {
 		d.busOwnerGang = cmd.GangRanks
 	}
 	d.busEverUsed = true
+	if d.Probe != nil {
+		res.Fault = d.Probe.DataBurst(cmd, at)
+	}
 	return res
 }

@@ -1,6 +1,9 @@
 package ecc
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // This file models how chipkill codewords are laid out across the chips and
 // beats of a memory burst (Fig. 4), which is the crux of the paper's
@@ -31,14 +34,25 @@ func NewBurst(chips int) *Burst {
 	return &Burst{Chips: make([][BytesPerChip]byte, chips)}
 }
 
+// checkBit validates a (chip, beat, dq) coordinate against the burst shape:
+// 8 beats and 4 DQs per chip, chip within the burst's rank width.
+func (b *Burst) checkBit(chip, beat, dq int) {
+	if chip < 0 || chip >= len(b.Chips) || beat < 0 || beat >= 8 || dq < 0 || dq >= 4 {
+		panic(fmt.Sprintf("ecc: bit (chip=%d, beat=%d, dq=%d) outside %d-chip BL8 burst",
+			chip, beat, dq, len(b.Chips)))
+	}
+}
+
 // Bit returns DQ dq of chip at the given beat.
 func (b *Burst) Bit(chip, beat, dq int) byte {
+	b.checkBit(chip, beat, dq)
 	idx := beat*4 + dq
 	return (b.Chips[chip][idx/8] >> (idx % 8)) & 1
 }
 
 // SetBit sets DQ dq of chip at the given beat.
 func (b *Burst) SetBit(chip, beat, dq int, v byte) {
+	b.checkBit(chip, beat, dq)
 	idx := beat*4 + dq
 	if v&1 != 0 {
 		b.Chips[chip][idx/8] |= 1 << (idx % 8)
@@ -143,18 +157,41 @@ func (c *Chipkill) Encode(data []byte) *Burst {
 	return b
 }
 
+// ErrGeometry reports a burst whose chip count does not match the codec's
+// scheme; such a burst cannot hold the scheme's codewords at all.
+var ErrGeometry = errors.New("ecc: burst geometry does not match scheme")
+
 // Decode extracts and corrects the burst's codewords, returning the data
 // payload, the total number of corrected symbols, and ErrDetected when any
 // codeword is uncorrectable under the scheme's policy.
+//
+// Policy: beyond the per-codeword MaxCorrect=1 bound, all corrections within
+// one burst must name the same chip. The chipkill fault model is a single
+// failing device; corrections scattered across different chips mean the burst
+// was hit by something the model does not cover, and letting each codeword
+// "fix" its own chip is exactly the miscorrection path a DUE should close.
+// Inconsistent corrections therefore return ErrDetected.
 func (c *Chipkill) Decode(b *Burst) (data []byte, corrected int, err error) {
+	if len(b.Chips) != c.Chips() {
+		return nil, 0, ErrGeometry
+	}
 	data = make([]byte, c.DataBytes())
+	errChip := -1
 	for j := 0; j < c.CodewordsPerBurst(); j++ {
 		cw := c.extractCodeword(b, j)
-		n, derr := c.rs.Decode(cw)
+		pos, derr := c.rs.DecodeReport(cw)
 		if derr != nil {
 			return nil, corrected, derr
 		}
-		corrected += n
+		for _, p := range pos {
+			// Codeword symbol index == chip index for every scheme here.
+			if errChip == -1 {
+				errChip = p
+			} else if errChip != p {
+				return nil, corrected, ErrDetected
+			}
+		}
+		corrected += len(pos)
 		c.scatterData(data, j, cw)
 	}
 	return data, corrected, nil
@@ -236,8 +273,12 @@ func GSDRAMStridedBurst(rows []*Burst) *Burst {
 }
 
 // IntegrityOK reports whether a burst holds valid codewords (no error and
-// no miscorrection) under the codec.
+// no miscorrection) under the codec. A burst of the wrong geometry cannot
+// hold the scheme's codewords, so it reports false.
 func (c *Chipkill) IntegrityOK(b *Burst) bool {
+	if len(b.Chips) != c.Chips() {
+		return false
+	}
 	for j := 0; j < c.CodewordsPerBurst(); j++ {
 		syn := c.rs.Syndromes(c.extractCodeword(b, j))
 		for _, s := range syn {
@@ -284,6 +325,9 @@ func (e *Extended) Encode(data []byte) *Burst {
 
 // Decode extracts and corrects the large codeword.
 func (e *Extended) Decode(b *Burst) (data []byte, corrected int, err error) {
+	if len(b.Chips) != SSCChips {
+		return nil, 0, ErrGeometry
+	}
 	cw := make([]byte, 72)
 	for i := range cw {
 		chip, dq := i/4, i%4

@@ -113,6 +113,15 @@ func (r *RS) Syndromes(recv []byte) []byte {
 // the number of symbols corrected. It returns ErrDetected when the error
 // pattern exceeds the correction policy but is detectable.
 func (r *RS) Decode(recv []byte) (corrected int, err error) {
+	pos, err := r.DecodeReport(recv)
+	return len(pos), err
+}
+
+// DecodeReport is Decode, additionally reporting which symbol indices were
+// corrected (nil for a clean word). Callers that attribute errors to chips —
+// or enforce cross-codeword consistency policies — need the positions, not
+// just the count.
+func (r *RS) DecodeReport(recv []byte) (positions []int, err error) {
 	syn := r.Syndromes(recv)
 	zero := true
 	for _, s := range syn {
@@ -122,24 +131,24 @@ func (r *RS) Decode(recv []byte) (corrected int, err error) {
 		}
 	}
 	if zero {
-		return 0, nil
+		return nil, nil
 	}
 	lambda, errCount := r.berlekampMassey(syn)
 	if errCount == 0 || errCount > r.MaxCorrect {
-		return 0, ErrDetected
+		return nil, ErrDetected
 	}
-	positions := r.chienSearch(lambda)
+	positions = r.chienSearch(lambda)
 	if len(positions) != errCount {
-		return 0, ErrDetected
+		return nil, ErrDetected
 	}
 	r.forney(recv, syn, lambda, positions)
 	// Verify: residual syndromes must vanish.
 	for _, s := range r.Syndromes(recv) {
 		if s != 0 {
-			return 0, ErrDetected
+			return nil, ErrDetected
 		}
 	}
-	return errCount, nil
+	return positions, nil
 }
 
 // berlekampMassey returns the error-locator polynomial (lowest degree first)

@@ -229,6 +229,16 @@ func WriteChrome(w io.Writer, bufs []*Buffer, samplers []*Sampler) error {
 					Name: e.ClassName(), Cat: "req", Ph: "e", Ts: e.DataEnd,
 					Pid: pid, Tid: tidRequests, ID: id,
 				})
+			case KindFault:
+				data = append(data, chromeEvent{
+					Name: "DUE", Cat: "fault", Ph: "i", Ts: e.At,
+					Pid: pid, Tid: tidRequests,
+					Args: map[string]any{
+						"addr":     fmt.Sprintf("%#x", e.Addr),
+						"attempt":  e.QDepth,
+						"poisoned": e.Flags&FlagPoisoned != 0,
+					},
+				})
 			case KindCommand:
 				switch e.Cmd {
 				case dram.CmdRD, dram.CmdWR:

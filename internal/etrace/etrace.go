@@ -37,6 +37,10 @@ const (
 	KindComplete
 	// KindCommand is one DRAM command applied by the device.
 	KindCommand
+	// KindFault is a detected-uncorrectable read burst: one event per
+	// failed attempt (QDepth carries the attempt number), with FlagPoisoned
+	// marking the final give-up.
+	KindFault
 )
 
 // String names the kind.
@@ -50,6 +54,8 @@ func (k Kind) String() string {
 		return "complete"
 	case KindCommand:
 		return "command"
+	case KindFault:
+		return "fault"
 	default:
 		return "unknown"
 	}
@@ -62,6 +68,7 @@ const (
 	FlagGang
 	FlagRowHit
 	FlagRowEmpty
+	FlagPoisoned
 )
 
 // Event is one fixed-size trace record. Request events (Enqueue, Schedule,
@@ -234,12 +241,30 @@ func (t *ChannelTracer) ReqCompleted(comp mc.Completion, bank int32) {
 	if comp.RowEmpty {
 		flags |= FlagRowEmpty
 	}
+	if comp.Poisoned {
+		flags |= FlagPoisoned
+	}
 	t.b.add(Event{
 		Kind: KindComplete, Chan: t.ch, Rank: -1, Group: -1,
 		At: comp.IssueAt, ID: r.ID, Addr: r.Addr, Bank: bank,
 		Flags: flags, Lane: uint8(r.Lane & 0xff),
 		Arrival: r.Arrival, DataStart: comp.DataStart, DataEnd: comp.DataEnd,
 		Done: comp.DataEnd,
+	})
+}
+
+// ReqFaulted implements mc.Tracer: a read burst decoded as uncorrectable.
+// QDepth reuses the depth slot for the attempt number.
+func (t *ChannelTracer) ReqFaulted(at dram.Cycle, r mc.Request, bank int32, attempt int, poisoned bool) {
+	flags := reqFlags(r.IsWrite, r.Stride, r.Gang)
+	if poisoned {
+		flags |= FlagPoisoned
+	}
+	t.b.add(Event{
+		Kind: KindFault, Chan: t.ch, Rank: -1, Group: -1,
+		At: at, ID: r.ID, Addr: r.Addr, Bank: bank,
+		Flags: flags, Lane: uint8(r.Lane & 0xff),
+		QDepth: int32(attempt),
 	})
 }
 

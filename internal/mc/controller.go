@@ -25,11 +25,16 @@ type Request struct {
 // Completion reports a serviced request.
 type Completion struct {
 	Req       Request
-	IssueAt   dram.Cycle // column command issue
+	IssueAt   dram.Cycle // column command issue (final attempt when retried)
 	DataStart dram.Cycle
 	DataEnd   dram.Cycle
 	RowHit    bool
 	RowEmpty  bool // bank was closed (neither hit nor conflict)
+	// Retries counts re-issued column reads after detected-uncorrectable
+	// ECC verdicts; Poisoned marks a read that stayed uncorrectable through
+	// every retry — its data must not be consumed silently.
+	Retries  uint8
+	Poisoned bool
 }
 
 // Stats aggregates controller-level behaviour.
@@ -45,6 +50,8 @@ type Stats struct {
 	StrideAccesses       uint64
 	ModeSwitches         uint64
 	StarvationBreaks     uint64
+	Retries              uint64 // column reads re-issued after DUE verdicts
+	Poisoned             uint64 // reads surfaced as poisoned after retry exhaustion
 	BusCycleOfLastAccess dram.Cycle
 }
 
@@ -66,6 +73,8 @@ func (s Stats) Sub(base Stats) Stats {
 		StrideAccesses:       s.StrideAccesses - base.StrideAccesses,
 		ModeSwitches:         s.ModeSwitches - base.ModeSwitches,
 		StarvationBreaks:     s.StarvationBreaks - base.StarvationBreaks,
+		Retries:              s.Retries - base.Retries,
+		Poisoned:             s.Poisoned - base.Poisoned,
 		BusCycleOfLastAccess: s.BusCycleOfLastAccess,
 	}
 }
@@ -85,6 +94,8 @@ func (s *Stats) Add(o Stats) {
 	s.StrideAccesses += o.StrideAccesses
 	s.ModeSwitches += o.ModeSwitches
 	s.StarvationBreaks += o.StarvationBreaks
+	s.Retries += o.Retries
+	s.Poisoned += o.Poisoned
 	if o.MaxQueueOccupancy > s.MaxQueueOccupancy {
 		s.MaxQueueOccupancy = o.MaxQueueOccupancy
 	}
@@ -109,6 +120,11 @@ type Tracer interface {
 	ReqScheduled(at dram.Cycle, r Request, bank int32)
 	// ReqCompleted fires once the request's column access is resolved.
 	ReqCompleted(comp Completion, bank int32)
+	// ReqFaulted fires when a read burst comes back detected-uncorrectable:
+	// once for the initial failed attempt (attempt 0) and once per retry
+	// that fails again; poisoned marks the final give-up after the retry
+	// budget is exhausted.
+	ReqFaulted(at dram.Cycle, r Request, bank int32, attempt int, poisoned bool)
 }
 
 // Controller schedules requests onto one dram.Device with FR-FCFS and an
@@ -211,6 +227,10 @@ type Config struct {
 	// ReadQueueCap bounds the read queue; enqueueing beyond it reports
 	// back-pressure to the caller.
 	ReadQueueCap int
+	// MaxRetries bounds how many times a read whose burst decoded as
+	// uncorrectable is re-issued before the completion is poisoned. 0 means
+	// poison immediately on the first DUE.
+	MaxRetries int
 	// Interleave selects the physical address mapping (ablation knob;
 	// defaults to the paper's columns-low order).
 	Interleave Interleave
@@ -218,12 +238,13 @@ type Config struct {
 
 // DefaultConfig mirrors Table 2.
 func DefaultConfig() Config {
-	return Config{WriteQueueCap: 32, WriteDrainHigh: 24, WriteDrainLow: 8, ReadQueueCap: 64}
+	return Config{WriteQueueCap: 32, WriteDrainHigh: 24, WriteDrainLow: 8, ReadQueueCap: 64, MaxRetries: 3}
 }
 
 // NewController builds a controller over a device.
 func NewController(dev *dram.Device, cfg Config) *Controller {
-	if cfg.WriteQueueCap <= 0 || cfg.WriteDrainHigh > cfg.WriteQueueCap || cfg.WriteDrainLow >= cfg.WriteDrainHigh || cfg.ReadQueueCap <= 0 {
+	if cfg.WriteQueueCap <= 0 || cfg.WriteDrainHigh > cfg.WriteQueueCap || cfg.WriteDrainLow >= cfg.WriteDrainHigh || cfg.ReadQueueCap <= 0 ||
+		cfg.MaxRetries < 0 || cfg.MaxRetries > 255 {
 		panic(fmt.Sprintf("mc: invalid config %+v", cfg))
 	}
 	banks := dev.NumBanks()
@@ -234,6 +255,15 @@ func NewController(dev *dram.Device, cfg Config) *Controller {
 		readQ:  newReqQueue(cfg.ReadQueueCap, banks),
 		writeQ: newReqQueue(cfg.WriteQueueCap, banks),
 	}
+}
+
+// SetMaxRetries adjusts the bounded read-retry budget after construction
+// (the fault campaign varies it per run without rebuilding controllers).
+func (c *Controller) SetMaxRetries(n int) {
+	if n < 0 || n > 255 {
+		panic(fmt.Sprintf("mc: invalid retry budget %d", n))
+	}
+	c.cfg.MaxRetries = n
 }
 
 // AddrMap exposes the controller's address mapping.
@@ -530,6 +560,47 @@ func (c *Controller) access(e *entry) Completion {
 	c.Stats.IssuedCommands++
 	if res.ModeSwitched {
 		c.Stats.ModeSwitches++
+	}
+	if res.Fault == dram.BurstUncorrectable && !r.IsWrite {
+		// Bounded retry: re-issue the column read — a retry is a fresh
+		// burst, so transient faults are re-drawn while persistent faults
+		// recur — and poison the completion when the budget runs out
+		// instead of silently returning garbage. Each retry is a real
+		// command on the bus: audited, counted, and spaced by tCCD.
+		if c.Trace != nil {
+			c.Trace.ReqFaulted(at, *r, e.bank, 0, false)
+		}
+		attempt := 0
+		for attempt < c.cfg.MaxRetries {
+			attempt++
+			c.Stats.Retries++
+			comp.Retries++
+			c.now = at
+			at = c.dev.EarliestIssue(cmd, c.now)
+			res = c.dev.Issue(cmd, at)
+			if c.Audit != nil {
+				c.Audit.Record(cmd, at)
+			}
+			c.Stats.IssuedCommands++
+			if res.ModeSwitched {
+				c.Stats.ModeSwitches++
+			}
+			if res.Fault != dram.BurstUncorrectable {
+				break
+			}
+			// The final attempt's failure is reported by the poisoned
+			// event below, so every failed attempt traces exactly once.
+			if attempt < c.cfg.MaxRetries && c.Trace != nil {
+				c.Trace.ReqFaulted(at, *r, e.bank, attempt, false)
+			}
+		}
+		if res.Fault == dram.BurstUncorrectable {
+			comp.Poisoned = true
+			c.Stats.Poisoned++
+			if c.Trace != nil {
+				c.Trace.ReqFaulted(at, *r, e.bank, attempt, true)
+			}
+		}
 	}
 	comp.IssueAt = at
 	comp.DataStart = res.DataStart

@@ -67,6 +67,10 @@ func (r *recordingTracer) ReqCompleted(comp Completion, bank int32) {
 	r.events = append(r.events, recordedEvent{'c', comp.Req.ID, bank, comp.DataEnd, 0})
 }
 
+func (r *recordingTracer) ReqFaulted(at dram.Cycle, req Request, bank int32, attempt int, poisoned bool) {
+	r.events = append(r.events, recordedEvent{'f', req.ID, bank, at, attempt})
+}
+
 // TestTracerLifecycleOrdering drives a controller with a recording tracer
 // and checks the per-request protocol: enqueue, then scheduled, then
 // completed, with a consistent bank and a queue depth that matches the
@@ -145,6 +149,7 @@ type nopTracer struct{}
 func (nopTracer) ReqEnqueued(dram.Cycle, Request, int32, int)              {}
 func (nopTracer) ReqScheduled(dram.Cycle, Request, int32)                  {}
 func (nopTracer) ReqCompleted(Completion, int32)                           {}
+func (nopTracer) ReqFaulted(dram.Cycle, Request, int32, int, bool)         {}
 func (nopTracer) CommandIssued(dram.Command, dram.Cycle, dram.IssueResult) {}
 
 // BenchmarkControllerServiceOneTraced is BenchmarkControllerServiceOne

@@ -1,13 +1,13 @@
 package sim
 
 import (
-	"math/rand"
+	"fmt"
 
 	"sam/internal/cache"
 	"sam/internal/design"
 	"sam/internal/dram"
-	"sam/internal/ecc"
 	"sam/internal/etrace"
+	"sam/internal/fault"
 	"sam/internal/mc"
 	"sam/internal/power"
 	"sam/internal/stats"
@@ -50,19 +50,36 @@ type engine struct {
 	strideFetches uint64 // for the embedded-ECC read period
 	regularFills  uint64 // for embedded-ECC overhead on regular fills
 
-	// Fault-injection state.
-	faultCodec    *ecc.Chipkill
-	faultRng      *rand.Rand
-	faultVerified uint64
-	corrected     uint64
-	uncorrectable uint64
+	// injectors holds the per-channel fault injectors of this run (nil
+	// entries never occur; the slice is nil when injection is off).
+	injectors []*fault.Injector
+}
+
+// channelFaultSeed derives channel ch's injector seed so every channel draws
+// an independent fault stream while the whole run replays from one seed.
+func channelFaultSeed(seed uint64, ch int) uint64 {
+	return seed ^ (uint64(ch+1) * 0x9e3779b97f4a7c15)
 }
 
 func newEngine(s *System) *engine {
 	e := &engine{sys: s, busMHz: s.Design.Mem.ClockMHz}
-	if s.Faults != nil {
-		e.faultCodec = ecc.NewChipkill(s.Design.Chipkill)
-		e.faultRng = rand.New(rand.NewSource(int64(s.Faults.Seed) + 1))
+	// (Re)wire fault injection: a fresh injector per channel per run keeps
+	// replay deterministic, and clearing stale probes keeps a later clean
+	// run on the same warm system genuinely fault-free (and allocation-free).
+	inject := s.Faults != nil && s.Faults.Active()
+	for ch := 0; ch < s.Channels(); ch++ {
+		if !inject {
+			s.devices[ch].Probe = nil
+			continue
+		}
+		cfg := *s.Faults
+		cfg.Seed = channelFaultSeed(s.Faults.Seed, ch)
+		in := fault.New(cfg, s.Design.BurstScheme(), s.Design.HasECC)
+		s.devices[ch].Probe = in
+		e.injectors = append(e.injectors, in)
+		if s.Faults.MaxRetries > 0 {
+			s.controllers[ch].SetMaxRetries(s.Faults.MaxRetries)
+		}
 	}
 	e.reg = stats.NewRegistry()
 	// All channels share one instrument set: the engine services channels
@@ -112,9 +129,6 @@ func (e *engine) serviceOne() bool {
 		}
 		if !comp.Req.IsWrite {
 			e.inflight--
-			if e.sys.Faults != nil {
-				e.injectFault()
-			}
 		}
 		return true
 	}
@@ -148,34 +162,6 @@ func (e *engine) recordSample(at int64) {
 	e.sys.Sampler.Record(etrace.Sample{
 		At: at, Ctl: ctl, Dev: dev, Queue: queue, Inflight: e.inflight,
 	})
-}
-
-// injectFault applies the dead-chip model to one read burst. The first
-// bursts exercise the real Reed-Solomon path; the rest count.
-func (e *engine) injectFault() {
-	if !e.sys.Design.HasECC {
-		e.uncorrectable++
-		return
-	}
-	if e.faultVerified < faultVerifyBursts {
-		e.faultVerified++
-		data := make([]byte, e.faultCodec.DataBytes())
-		e.faultRng.Read(data)
-		burst := e.faultCodec.Encode(data)
-		burst.CorruptChip(e.sys.Faults.DeadChip%e.faultCodec.Chips(), byte(1+e.faultRng.Intn(255)))
-		got, n, err := e.faultCodec.Decode(burst)
-		if err != nil || n == 0 || len(got) != len(data) {
-			e.uncorrectable++
-			return
-		}
-		for i := range got {
-			if got[i] != data[i] {
-				e.uncorrectable++
-				return
-			}
-		}
-	}
-	e.corrected++
 }
 
 // enqueue pushes one request to its channel, applying window and queue
@@ -352,7 +338,32 @@ func (e *engine) finish() RunStats {
 	if hits, misses := ctl.RowHits, ctl.RowMisses+ctl.RowEmpties; hits+misses > 0 {
 		rs.RowHitRate = float64(hits) / float64(hits+misses)
 	}
-	rs.CorrectedBursts = e.corrected
-	rs.UncorrectableBursts = e.uncorrectable
+	if e.injectors != nil {
+		rel := &fault.Counters{}
+		for _, in := range e.injectors {
+			rel.Add(in.Counters)
+		}
+		rs.Reliability = rel
+		rs.CorrectedBursts = rel.CorrectedBursts
+		rs.UncorrectableBursts = rel.DUEs + rel.SilentCorruptions
+		// Mirror the block into the run's instrument registry so JSON
+		// exports and profiles carry the reliability outcome alongside the
+		// latency histograms. Per-chip attribution rides as a gauge series.
+		c := func(name string, v uint64) { e.reg.Counter("fault." + name).Add(v) }
+		c("bursts", rel.Bursts)
+		c("injected", rel.Injected)
+		c("corrected_bursts", rel.CorrectedBursts)
+		c("corrected_symbols", rel.CorrectedSymbols)
+		c("dues", rel.DUEs)
+		c("silent_corruptions", rel.SilentCorruptions)
+		c("retries", ctl.Retries)
+		c("poisoned", ctl.Poisoned)
+		for chip, n := range rel.PerChip {
+			if n != 0 {
+				e.reg.Counter(fmt.Sprintf("fault.chip_%02d", chip)).Add(n)
+			}
+		}
+		rs.Metrics = e.reg.Snapshot()
+	}
 	return rs
 }

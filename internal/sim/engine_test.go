@@ -6,6 +6,7 @@ import (
 
 	"sam/internal/cache"
 	"sam/internal/design"
+	"sam/internal/dram"
 	"sam/internal/imdb"
 )
 
@@ -68,27 +69,45 @@ func TestEngineRunRelativeBase(t *testing.T) {
 	}
 }
 
-func TestInjectFaultPolicies(t *testing.T) {
+func TestFaultInjectorWiring(t *testing.T) {
 	d := design.New(design.SAMEn, design.Options{})
 	s := NewSystem(d)
-	s.Faults = &FaultModel{DeadChip: 3, Seed: 9}
+	s.Faults = DeadChipFault(3, 9)
 	s.AddTable(imdb.NewTable(imdb.Ta(64), 1), false)
 	e := newEngine(s)
-	for i := 0; i < faultVerifyBursts+10; i++ {
-		e.injectFault()
+	if len(e.injectors) != s.Channels() {
+		t.Fatalf("%d injectors for %d channels", len(e.injectors), s.Channels())
 	}
-	if e.corrected != faultVerifyBursts+10 || e.uncorrectable != 0 {
-		t.Fatalf("chipkill fault path: corrected=%d uncorrectable=%d", e.corrected, e.uncorrectable)
+	for ch := 0; ch < s.Channels(); ch++ {
+		if s.devices[ch].Probe == nil {
+			t.Fatalf("channel %d device has no probe", ch)
+		}
+		if v := e.injectors[ch].DataBurst(dram.Command{Kind: dram.CmdRD}, 0); v != dram.BurstCorrected {
+			t.Fatalf("channel %d dead-chip burst verdict %v, want corrected", ch, v)
+		}
 	}
-	// GS-DRAM (no ECC): everything is uncorrectable.
+	// Channels must draw independent fault streams from one run seed.
+	if s.Channels() > 1 && channelFaultSeed(9, 0) == channelFaultSeed(9, 1) {
+		t.Fatal("channel fault seeds collide")
+	}
+	// A later clean engine on the same warm system detaches every probe.
+	s.Faults = nil
+	newEngine(s)
+	for ch := 0; ch < s.Channels(); ch++ {
+		if s.devices[ch].Probe != nil {
+			t.Fatalf("channel %d probe survived a clean run", ch)
+		}
+	}
+
+	// GS-DRAM (no ECC): every biting fault is silent corruption.
 	g := design.New(design.GSDRAM, design.Options{})
 	gs := NewSystem(g)
-	gs.Faults = &FaultModel{DeadChip: 3, Seed: 9}
+	gs.Faults = DeadChipFault(3, 9)
 	gs.AddTable(imdb.NewTable(imdb.Ta(64), 2), false)
 	ge := newEngine(gs)
-	ge.injectFault()
-	if ge.uncorrectable != 1 || ge.corrected != 0 {
-		t.Fatalf("no-ECC fault path: %d/%d", ge.corrected, ge.uncorrectable)
+	ge.injectors[0].DataBurst(dram.Command{Kind: dram.CmdRD}, 0)
+	if c := ge.injectors[0].Counters; c.SilentCorruptions != 1 || c.CorrectedBursts != 0 {
+		t.Fatalf("no-ECC fault path: %+v", c)
 	}
 }
 

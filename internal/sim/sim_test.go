@@ -545,7 +545,7 @@ func TestFaultInjectionChipkillVsGSDRAM(t *testing.T) {
 	// GS-DRAM, which gave up ECC, takes uncorrectable corruption.
 	run := func(kind design.Kind) RunStats {
 		s := testSystem(kind, 256, 256, false)
-		s.Faults = &FaultModel{DeadChip: 7, Seed: 42}
+		s.Faults = DeadChipFault(7, 42)
 		r, err := s.RunQuery("SELECT SUM(f9) FROM Ta WHERE f10 > x", sel25())
 		if err != nil {
 			t.Fatal(err)
@@ -557,10 +557,17 @@ func TestFaultInjectionChipkillVsGSDRAM(t *testing.T) {
 		t.Fatalf("SAM-en under a dead chip: corrected=%d uncorrectable=%d",
 			sam.CorrectedBursts, sam.UncorrectableBursts)
 	}
+	if rel := sam.Reliability; rel == nil || rel.SilentCorruptions != 0 ||
+		rel.CorrectedBursts != rel.Injected || rel.Bursts == 0 {
+		t.Fatalf("SAM-en reliability block: %+v", sam.Reliability)
+	}
 	gs := run(design.GSDRAM)
 	if gs.UncorrectableBursts == 0 || gs.CorrectedBursts != 0 {
 		t.Fatalf("GS-DRAM under a dead chip: corrected=%d uncorrectable=%d",
 			gs.CorrectedBursts, gs.UncorrectableBursts)
+	}
+	if rel := gs.Reliability; rel == nil || rel.SilentCorruptions == 0 || rel.DUEs != 0 {
+		t.Fatalf("GS-DRAM reliability block: %+v", gs.Reliability)
 	}
 	// Without fault injection, both counters stay zero.
 	clean := testSystem(design.SAMEn, 64, 64, false)
@@ -568,7 +575,7 @@ func TestFaultInjectionChipkillVsGSDRAM(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.Stats.CorrectedBursts != 0 || r.Stats.UncorrectableBursts != 0 {
+	if r.Stats.CorrectedBursts != 0 || r.Stats.UncorrectableBursts != 0 || r.Stats.Reliability != nil {
 		t.Fatal("fault counters nonzero without injection")
 	}
 }

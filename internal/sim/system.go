@@ -13,6 +13,7 @@ import (
 	"sam/internal/design"
 	"sam/internal/dram"
 	"sam/internal/etrace"
+	"sam/internal/fault"
 	"sam/internal/imdb"
 	"sam/internal/mc"
 	"sam/internal/power"
@@ -54,10 +55,15 @@ type System struct {
 	// Audit enables end-to-end protocol checking (slow; tests only).
 	Audit bool
 
-	// Faults, when set, injects a dead chip into every burst of the run:
-	// designs with chipkill correct it (counted), designs without (plain
-	// GS-DRAM) take silent data corruption (also counted). The first
-	// faultVerifyBursts bursts run the real RS codecs end to end.
+	// Faults, when set and active, routes every data-carrying DRAM burst of
+	// the run through the real chipkill codec with faults injected at the
+	// device's burst boundary: persistent per-rank fault maps (dead chips,
+	// stuck DQs) and seed-driven transients (bit flips, chip-wide garbage,
+	// correlated runs). Designs with chipkill correct or detect them — the
+	// controller retries detected-uncorrectable reads and poisons the line
+	// when the retry budget runs out — while designs without ECC (plain
+	// GS-DRAM) take silent data corruption. All outcomes land in
+	// RunStats.Reliability.
 	Faults *FaultModel
 
 	// TraceSink, when set, records every memory request the run issues.
@@ -72,15 +78,17 @@ type System struct {
 	Sampler *etrace.Sampler
 }
 
-// FaultModel configures fault injection.
-type FaultModel struct {
-	DeadChip int // chip index within the rank
-	Seed     uint64
-}
+// FaultModel configures fault injection; it is fault.Config verbatim (seed,
+// transient rate and mix weights, per-rank dead-chip and stuck-DQ maps, and
+// the read-retry budget). Each channel derives its own injector from Seed,
+// so replay is deterministic regardless of how runs are parallelized.
+type FaultModel = fault.Config
 
-// faultVerifyBursts is how many faulty bursts run the real codec before the
-// run switches to counting (the codec result is identical per burst shape).
-const faultVerifyBursts = 64
+// DeadChipFault is the legacy single-dead-chip model (samsim -faultchip):
+// chip dead on every rank, everything else default.
+func DeadChipFault(chip int, seed uint64) *FaultModel {
+	return &FaultModel{Seed: seed, DeadChips: []fault.ChipFault{{Rank: -1, Chip: chip}}}
+}
 
 // NewSystem builds a system for the design.
 func NewSystem(d *design.Design) *System {
@@ -220,7 +228,13 @@ type RunStats struct {
 	// Metrics is the run's instrument snapshot: per-class request-latency
 	// and queue-occupancy histograms (see mc.NewMetrics for the names).
 	Metrics *stats.Snapshot
-	// Fault-injection outcomes (zero unless System.Faults is set).
+	// Reliability is the fault campaign's full counter block (nil unless
+	// System.Faults is active), summed across channels.
+	Reliability *fault.Counters
+	// Fault-injection outcomes (zero unless System.Faults is set):
+	// CorrectedBursts are bursts the codec healed; UncorrectableBursts are
+	// detected-uncorrectable decodes plus silent corruptions (no-ECC
+	// designs).
 	CorrectedBursts     uint64
 	UncorrectableBursts uint64
 }
