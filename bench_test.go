@@ -348,6 +348,26 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(reqs), "sim-requests")
 }
 
+// BenchmarkSimulatorThroughputFaulted is BenchmarkSimulatorThroughput with
+// the fault plane live: every data burst pays chipkill encode, transient
+// injection, and decode. The ratio to the fault-free ns/op is the cost of
+// fault injection — the zero-alloc codec work keeps it within ~2x.
+func BenchmarkSimulatorThroughputFaulted(b *testing.B) {
+	w := benchWorkload()
+	q := core.Benchmark()[2]
+	fm := &sim.FaultModel{Seed: 0xF00D, Rate: 0.01}
+	b.ReportAllocs()
+	var reqs uint64
+	for i := 0; i < b.N; i++ {
+		r, err := core.RunOneFaulted(design.SAMEn, design.Options{}, w, q, fm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reqs = r.Stats.MemRequests
+	}
+	b.ReportMetric(float64(reqs), "sim-requests")
+}
+
 // BenchmarkAblationInterleave contrasts the paper's columns-low address
 // mapping with bank-rotating interleave on the baseline row-store scan —
 // the mapping choice that determines how much of SAM's win comes from bank

@@ -118,6 +118,17 @@ func RunOne(kind design.Kind, opts design.Options, w Workload, q BenchQuery) (*s
 	return RunOn(NewSystem(kind, opts, w, colStore), q)
 }
 
+// RunOneFaulted is RunOne with fault injection attached: every data burst
+// of the run is adjudicated through the design's chipkill codec with faults
+// drawn from fm. The throughput benchmarks use it to measure the price of a
+// live fault plane against the fault-free path.
+func RunOneFaulted(kind design.Kind, opts design.Options, w Workload, q BenchQuery, fm *sim.FaultModel) (*sim.QueryResult, error) {
+	colStore := kind == design.Ideal && q.Class == ClassQ
+	s := NewSystem(kind, opts, w, colStore)
+	s.Faults = fm
+	return RunOn(s, q)
+}
+
 // RunOn executes one benchmark query on an already-built system, applying
 // the same compile and scan-shape rules as RunOne. Tools that attach
 // extras to the system first (event tracing, fault injection) run through

@@ -64,6 +64,13 @@ type Placer struct {
 	rowsPerBank      int
 	stripeRowBase    int // row-wise rows, per-bank, where this table starts
 	colRowBase       int // synthetic column-direction row space
+
+	// Gather scratch. The Txn a ReadField/WriteField returns points at
+	// scratchGroup, so the group is valid only until the next field call on
+	// this Placer — the engine consumes each Txn synchronously, which is the
+	// contract that lets field access be allocation-free.
+	scratchGroup   StrideGroup
+	scratchMembers []int
 }
 
 // slotBytes is the address-space stride between table slots.
@@ -221,8 +228,13 @@ func (p *Placer) sectorBit(addr uint64) uint64 {
 // position across the stripe's Reach rows (the crossbar's column
 // direction).
 func (p *Placer) groupMembers(rec int) []int {
+	return p.appendGroupMembers(make([]int, 0, p.D.Gran.Reach), rec)
+}
+
+// appendGroupMembers appends rec's gather group to members, letting the hot
+// path reuse the placer's member scratch instead of allocating per access.
+func (p *Placer) appendGroupMembers(members []int, rec int) []int {
 	n := p.D.Gran.Reach
-	members := make([]int, 0, n)
 	if !p.D.ColumnEngine {
 		first := (rec / n) * n
 		for r := first; r < first+n && r < p.Schema.Records; r++ {
@@ -246,30 +258,37 @@ func (p *Placer) groupMembers(rec int) []int {
 // strideGroup builds the gather serving field accesses of rec's alignment
 // group: the same field sector of the group's records in one burst.
 func (p *Placer) strideGroup(rec, field int) *StrideGroup {
-	g := &StrideGroup{
+	g := &p.scratchGroup
+	*g = StrideGroup{
 		Lane:   (fieldOffset(field) / p.D.Gran.SectorBytes) % 4,
 		Gang:   p.D.Gran.Gang,
 		Bursts: p.D.SubFieldSplit,
+		Fills:  g.Fills[:0],
 	}
-	members := p.groupMembers(rec)
+	members := p.appendGroupMembers(p.scratchMembers[:0], rec)
+	p.scratchMembers = members[:0]
 	if p.D.ColumnEngine {
 		g.ReqAddr = p.stripeColAddr(members[0], field)
 	} else {
 		g.ReqAddr = p.seqAddr(members[0], field)
 	}
-	// Collect the (line, sector) fills, merging records that share a line.
-	fills := map[uint64]uint64{}
-	var order []uint64
+	// Collect the (line, sector) fills, merging records that share a line —
+	// a linear scan keeps first-seen order and, with at most Reach members,
+	// beats a map without allocating.
 	for _, r := range members {
 		addr := p.canonAddr(r, field)
 		line := p.lineOf(addr)
-		if _, ok := fills[line]; !ok {
-			order = append(order, line)
+		merged := false
+		for i := range g.Fills {
+			if g.Fills[i].LineAddr == line {
+				g.Fills[i].Sectors |= p.sectorBit(addr)
+				merged = true
+				break
+			}
 		}
-		fills[line] |= p.sectorBit(addr)
-	}
-	for _, line := range order {
-		g.Fills = append(g.Fills, LineFill{LineAddr: line, Sectors: fills[line]})
+		if !merged {
+			g.Fills = append(g.Fills, LineFill{LineAddr: line, Sectors: p.sectorBit(addr)})
+		}
 	}
 	return g
 }

@@ -50,6 +50,15 @@ func (s DeviceStats) Clone() DeviceStats {
 	return s
 }
 
+// CloneInto is Clone into a caller-owned destination, reusing dst's PerBank
+// backing when its capacity allows — repeated runs on a warm system snapshot
+// their baselines without reallocating.
+func (s DeviceStats) CloneInto(dst *DeviceStats) {
+	per := dst.PerBank
+	*dst = s
+	dst.PerBank = append(per[:0], s.PerBank...)
+}
+
 // Sub returns the per-run delta cur-minus-base.
 func (s DeviceStats) Sub(base DeviceStats) DeviceStats {
 	d := DeviceStats{
@@ -228,6 +237,13 @@ func (v BurstVerdict) String() string {
 // encode/decode with injected faults. Like Trace, the field is consulted
 // only when non-nil, keeping the fault-free fast path allocation- and
 // call-free.
+//
+// Workspace contract: the device calls DataBurst synchronously, one burst at
+// a time, and consumes only the returned verdict — so an implementation may
+// (and the fault injector does) reuse one internal workspace per channel
+// across calls: burst planes, codec scratch, decode buffers. A probe must
+// finish adjudicating before returning; nothing it hands out may alias state
+// the next call will overwrite.
 type BurstProbe interface {
 	DataBurst(cmd Command, at Cycle) BurstVerdict
 }

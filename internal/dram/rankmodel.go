@@ -22,6 +22,7 @@ type RankModel struct {
 	rows     map[int][]chipRow
 	scheme   ecc.Scheme
 	codec    *ecc.Chipkill
+	pool     ecc.BurstPool // burst free list; with the scratch codec, reads stop allocating bursts
 }
 
 type chipRow struct {
@@ -70,19 +71,22 @@ func (r *RankModel) WriteColumn(rowIdx, col int, data []byte) {
 	if col < 0 || col >= r.ColumnsPerRow() {
 		panic(fmt.Sprintf("dram: column %d out of row", col))
 	}
-	burst := r.codec.Encode(data)
+	burst := r.pool.Get(r.chips)
+	r.codec.EncodeInto(burst, data)
 	row := r.row(rowIdx, true)
 	off := col * ecc.BytesPerChip
 	for c := 0; c < r.chips; c++ {
 		copy(row[c].data[off:off+ecc.BytesPerChip], burst.Chips[c][:])
 	}
+	r.pool.Put(burst)
 }
 
-// readBurst gathers the raw burst stored at (row, col); missing rows read
-// as zero (a valid all-zero codeword region is NOT guaranteed, so callers
-// should only read what they wrote).
+// readBurst gathers the raw burst stored at (row, col) into a pooled burst
+// the caller must Put back; missing rows read as zero (a valid all-zero
+// codeword region is NOT guaranteed, so callers should only read what they
+// wrote).
 func (r *RankModel) readBurst(rowIdx, col int) *ecc.Burst {
-	b := ecc.NewBurst(r.chips)
+	b := r.pool.Get(r.chips)
 	row := r.row(rowIdx, false)
 	if row == nil {
 		return b
@@ -98,13 +102,16 @@ func (r *RankModel) readBurst(rowIdx, col int) *ecc.Burst {
 // chip's x4 path (buffer 0) and decode the chipkill codewords.
 func (r *RankModel) ReadColumn(rowIdx, col int) (data []byte, corrected int, err error) {
 	raw := r.readBurst(rowIdx, col)
-	onBus := ecc.NewBurst(r.chips)
+	onBus := r.pool.Get(r.chips)
 	for c := 0; c < r.chips; c++ {
 		var io IOBuffer
 		io.LoadRegular(raw.Chips[c])
 		onBus.Chips[c] = io.SerializeRegular()
 	}
-	return r.codec.Decode(onBus)
+	data, corrected, err = r.codec.Decode(onBus)
+	r.pool.Put(raw)
+	r.pool.Put(onBus)
+	return data, corrected, err
 }
 
 // ReadStride performs an Sx4_lane access: each chip wide-fetches four
@@ -122,7 +129,9 @@ func (r *RankModel) ReadStride(rowIdx, baseCol, lane int) []byte {
 		var io IOBuffer
 		var words [NumIOBuffers][BufBytes]byte
 		for w := 0; w < NumIOBuffers; w++ {
-			words[w] = r.readBurst(rowIdx, baseCol+w).Chips[c]
+			b := r.readBurst(rowIdx, baseCol+w)
+			words[w] = b.Chips[c]
+			r.pool.Put(b)
 		}
 		io.LoadWide(words)
 		lanes := io.SerializeStride(lane)
@@ -139,7 +148,9 @@ func (r *RankModel) GatherExpected(rowIdx, baseCol, lane int) []byte {
 	out := make([]byte, r.chips*ecc.BytesPerChip)
 	for c := 0; c < r.chips; c++ {
 		for w := 0; w < NumIOBuffers; w++ {
-			out[c*ecc.BytesPerChip+w] = r.readBurst(rowIdx, baseCol+w).Chips[c][lane]
+			b := r.readBurst(rowIdx, baseCol+w)
+			out[c*ecc.BytesPerChip+w] = b.Chips[c][lane]
+			r.pool.Put(b)
 		}
 	}
 	return out

@@ -34,6 +34,50 @@ func NewBurst(chips int) *Burst {
 	return &Burst{Chips: make([][BytesPerChip]byte, chips)}
 }
 
+// Reset zeroes every chip plane, returning the burst to its freshly
+// allocated state. Decode mutates bursts in place (corrections) and fault
+// injection corrupts them, so any reuse path must Reset first — a recycled
+// burst otherwise leaks the previous transfer's fault pattern into the next
+// decode.
+func (b *Burst) Reset() {
+	for i := range b.Chips {
+		b.Chips[i] = [BytesPerChip]byte{}
+	}
+}
+
+// BurstPool is a free list of Bursts keyed by chip count, for steady-state
+// burst reuse on the fault-injection and rank-model hot paths. Get returns a
+// zeroed burst (recycled bursts carry the prior transfer's corruption, so
+// the Get path always Resets); Put recycles a burst of any geometry. The
+// pool is not goroutine-safe: like the codecs, one pool belongs to one
+// injector or rank model.
+type BurstPool struct {
+	free map[int][]*Burst
+}
+
+// Get returns an all-zero burst with the given chip count, reusing a
+// recycled one when available.
+func (p *BurstPool) Get(chips int) *Burst {
+	if list := p.free[chips]; len(list) > 0 {
+		b := list[len(list)-1]
+		p.free[chips] = list[:len(list)-1]
+		b.Reset()
+		return b
+	}
+	return NewBurst(chips)
+}
+
+// Put recycles a burst for a later Get of the same chip count.
+func (p *BurstPool) Put(b *Burst) {
+	if b == nil {
+		return
+	}
+	if p.free == nil {
+		p.free = make(map[int][]*Burst)
+	}
+	p.free[len(b.Chips)] = append(p.free[len(b.Chips)], b)
+}
+
 // checkBit validates a (chip, beat, dq) coordinate against the burst shape:
 // 8 beats and 4 DQs per chip, chip within the burst's rank width.
 func (b *Burst) checkBit(chip, beat, dq int) {
@@ -103,9 +147,15 @@ func (s Scheme) String() string {
 }
 
 // Chipkill encodes/decodes bursts under one of the Fig. 4 layouts.
+//
+// The codec owns a codeword scratch buffer (and its RS code owns the
+// decoder workspaces), so EncodeInto/DecodeInto are allocation-free — and a
+// Chipkill is therefore NOT goroutine-safe. One codec per injector/channel,
+// per rank model, or per goroutine.
 type Chipkill struct {
 	Scheme Scheme
 	rs     *RS
+	cw     []byte // codeword scratch, n symbols
 }
 
 // NewChipkill builds a codec for the scheme.
@@ -119,6 +169,7 @@ func NewChipkill(s Scheme) *Chipkill {
 	default:
 		panic("ecc: unknown chipkill scheme")
 	}
+	c.cw = make([]byte, c.rs.N())
 	return c
 }
 
@@ -146,15 +197,26 @@ func (c *Chipkill) CodewordsPerBurst() int { return 4 }
 // Encode lays out data (len == DataBytes()) plus freshly computed check
 // symbols into a burst.
 func (c *Chipkill) Encode(data []byte) *Burst {
+	b := NewBurst(c.Chips())
+	c.EncodeInto(b, data)
+	return b
+}
+
+// EncodeInto is Encode with a caller-provided burst: it lays data plus
+// freshly computed check symbols into b, overwriting every bit, with no
+// allocation. b must carry the scheme's chip count.
+func (c *Chipkill) EncodeInto(b *Burst, data []byte) {
 	if len(data) != c.DataBytes() {
 		panic(fmt.Sprintf("ecc: Encode wants %d bytes, got %d", c.DataBytes(), len(data)))
 	}
-	b := NewBurst(c.Chips())
-	for j := 0; j < c.CodewordsPerBurst(); j++ {
-		cw := c.rs.Encode(c.dataSymbols(data, j))
-		c.placeCodeword(b, j, cw)
+	if len(b.Chips) != c.Chips() {
+		panic(fmt.Sprintf("ecc: EncodeInto wants a %d-chip burst, got %d", c.Chips(), len(b.Chips)))
 	}
-	return b
+	k := c.rs.K()
+	for j := 0; j < c.CodewordsPerBurst(); j++ {
+		c.rs.EncodeInto(c.cw, data[j*k:(j+1)*k])
+		c.placeCodeword(b, j, c.cw)
+	}
 }
 
 // ErrGeometry reports a burst whose chip count does not match the codec's
@@ -172,37 +234,46 @@ var ErrGeometry = errors.New("ecc: burst geometry does not match scheme")
 // "fix" its own chip is exactly the miscorrection path a DUE should close.
 // Inconsistent corrections therefore return ErrDetected.
 func (c *Chipkill) Decode(b *Burst) (data []byte, corrected int, err error) {
-	if len(b.Chips) != c.Chips() {
-		return nil, 0, ErrGeometry
-	}
 	data = make([]byte, c.DataBytes())
+	corrected, err = c.DecodeInto(data, b)
+	if err != nil {
+		return nil, corrected, err
+	}
+	return data, corrected, nil
+}
+
+// DecodeInto is Decode with a caller-provided payload buffer (len ==
+// DataBytes()): it extracts and corrects the burst's codewords into data
+// with no allocation, returning the total corrected symbol count and the
+// same errors — ErrGeometry for a wrong-shape burst, ErrDetected under the
+// burst-consistency policy documented on Decode. On error, data holds the
+// partially scattered payload and must not be used.
+func (c *Chipkill) DecodeInto(data []byte, b *Burst) (corrected int, err error) {
+	if len(b.Chips) != c.Chips() {
+		return 0, ErrGeometry
+	}
+	if len(data) != c.DataBytes() {
+		panic(fmt.Sprintf("ecc: DecodeInto wants a %d-byte buffer, got %d", c.DataBytes(), len(data)))
+	}
 	errChip := -1
 	for j := 0; j < c.CodewordsPerBurst(); j++ {
-		cw := c.extractCodeword(b, j)
-		pos, derr := c.rs.DecodeReport(cw)
+		c.extractCodewordInto(c.cw, b, j)
+		pos, derr := c.rs.decodeReport(c.cw)
 		if derr != nil {
-			return nil, corrected, derr
+			return corrected, derr
 		}
 		for _, p := range pos {
 			// Codeword symbol index == chip index for every scheme here.
 			if errChip == -1 {
 				errChip = p
 			} else if errChip != p {
-				return nil, corrected, ErrDetected
+				return corrected, ErrDetected
 			}
 		}
 		corrected += len(pos)
-		c.scatterData(data, j, cw)
+		c.scatterData(data, j, c.cw)
 	}
-	return data, corrected, nil
-}
-
-// dataSymbols picks codeword j's data symbols out of the payload.
-func (c *Chipkill) dataSymbols(data []byte, j int) []byte {
-	k := c.rs.K()
-	syms := make([]byte, k)
-	copy(syms, data[j*k:(j+1)*k])
-	return syms
+	return corrected, nil
 }
 
 // scatterData writes codeword j's (corrected) data symbols back into the
@@ -231,9 +302,16 @@ func (c *Chipkill) placeCodeword(b *Burst, j int, cw []byte) {
 	}
 }
 
-// extractCodeword reads codeword j back out of the burst.
+// extractCodeword reads codeword j back out of the burst into a fresh slice.
 func (c *Chipkill) extractCodeword(b *Burst, j int) []byte {
 	cw := make([]byte, c.Chips())
+	c.extractCodewordInto(cw, b, j)
+	return cw
+}
+
+// extractCodewordInto reads codeword j back out of the burst into cw
+// (len == Chips()).
+func (c *Chipkill) extractCodewordInto(cw []byte, b *Burst, j int) {
 	switch c.Scheme {
 	case SchemeSSC, SchemeSSCDSD:
 		for ch := 0; ch < c.Chips(); ch++ {
@@ -248,7 +326,6 @@ func (c *Chipkill) extractCodeword(b *Burst, j int) []byte {
 			cw[ch] = sym
 		}
 	}
-	return cw
 }
 
 // GSDRAMStridedBurst models the Gather-Scatter layout under strided access:
@@ -280,11 +357,9 @@ func (c *Chipkill) IntegrityOK(b *Burst) bool {
 		return false
 	}
 	for j := 0; j < c.CodewordsPerBurst(); j++ {
-		syn := c.rs.Syndromes(c.extractCodeword(b, j))
-		for _, s := range syn {
-			if s != 0 {
-				return false
-			}
+		c.extractCodewordInto(c.cw, b, j)
+		if !c.rs.syndromesInto(c.rs.syn, c.cw) {
+			return false
 		}
 	}
 	return true
@@ -296,50 +371,76 @@ func (c *Chipkill) IntegrityOK(b *Burst) bool {
 // covering the entire 64B transfer. Four check-chip DQ symbols give
 // distance 9: up to four symbol errors correctable, i.e. one fully dead
 // chip per burst with a single decode, at the price of decoder latency.
+// Like Chipkill, an Extended codec owns its codeword scratch and is NOT
+// goroutine-safe.
 type Extended struct {
 	rs *RS
+	cw []byte // codeword scratch, 72 symbols
 }
 
 // NewExtended builds the 72-symbol large-codeword codec.
 func NewExtended() *Extended {
 	// 72 DQ symbols = 18 chips x 4 DQ; 64 data symbols + 8 check symbols.
-	return &Extended{rs: NewRS(72, 64, 4)}
+	return &Extended{rs: NewRS(72, 64, 4), cw: make([]byte, 72)}
 }
 
 // Encode lays out 64 data bytes as one codeword across all 72 DQ lanes of
 // an 18-chip burst (check symbols occupy the two check chips' lanes).
 func (e *Extended) Encode(data []byte) *Burst {
+	b := NewBurst(SSCChips)
+	e.EncodeInto(b, data)
+	return b
+}
+
+// EncodeInto is Encode with a caller-provided 18-chip burst, overwriting
+// every bit with no allocation.
+func (e *Extended) EncodeInto(b *Burst, data []byte) {
 	if len(data) != 64 {
 		panic(fmt.Sprintf("ecc: Extended.Encode wants 64 bytes, got %d", len(data)))
 	}
-	cw := e.rs.Encode(data)
-	b := NewBurst(SSCChips)
-	for i, sym := range cw {
+	if len(b.Chips) != SSCChips {
+		panic(fmt.Sprintf("ecc: Extended.EncodeInto wants an %d-chip burst, got %d", SSCChips, len(b.Chips)))
+	}
+	e.rs.EncodeInto(e.cw, data)
+	for i, sym := range e.cw {
 		chip, dq := i/4, i%4
 		for beat := 0; beat < 8; beat++ {
 			b.SetBit(chip, beat, dq, (sym>>beat)&1)
 		}
 	}
-	return b
 }
 
 // Decode extracts and corrects the large codeword.
 func (e *Extended) Decode(b *Burst) (data []byte, corrected int, err error) {
-	if len(b.Chips) != SSCChips {
-		return nil, 0, ErrGeometry
+	data = make([]byte, 64)
+	corrected, err = e.DecodeInto(data, b)
+	if err != nil {
+		return nil, 0, err
 	}
-	cw := make([]byte, 72)
-	for i := range cw {
+	return data, corrected, nil
+}
+
+// DecodeInto is Decode with a caller-provided 64-byte payload buffer,
+// allocation-free at steady state.
+func (e *Extended) DecodeInto(data []byte, b *Burst) (corrected int, err error) {
+	if len(b.Chips) != SSCChips {
+		return 0, ErrGeometry
+	}
+	if len(data) != 64 {
+		panic(fmt.Sprintf("ecc: Extended.DecodeInto wants a 64-byte buffer, got %d", len(data)))
+	}
+	for i := range e.cw {
 		chip, dq := i/4, i%4
 		var sym byte
 		for beat := 0; beat < 8; beat++ {
 			sym |= b.Bit(chip, beat, dq) << beat
 		}
-		cw[i] = sym
+		e.cw[i] = sym
 	}
-	n, derr := e.rs.Decode(cw)
+	pos, derr := e.rs.decodeReport(e.cw)
 	if derr != nil {
-		return nil, 0, derr
+		return 0, derr
 	}
-	return cw[:64], n, nil
+	copy(data, e.cw[:64])
+	return len(pos), nil
 }

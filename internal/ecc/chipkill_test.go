@@ -233,6 +233,31 @@ func BenchmarkChipkillDecodeDeadChip(b *testing.B) {
 	}
 }
 
+func BenchmarkChipkillEncodeIntoSSC(b *testing.B) {
+	c := NewChipkill(SchemeSSC)
+	data := make([]byte, 64)
+	burst := NewBurst(c.Chips())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.EncodeInto(burst, data)
+	}
+}
+
+func BenchmarkChipkillDecodeIntoDeadChip(b *testing.B) {
+	c := NewChipkill(SchemeSSC)
+	data := make([]byte, 64)
+	clean := c.Encode(data)
+	burst := NewBurst(c.Chips())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		copy(burst.Chips, clean.Chips)
+		burst.CorruptChip(9, 0x3C)
+		if _, err := c.DecodeInto(data, burst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func TestExtendedRoundTrip(t *testing.T) {
 	e := NewExtended()
 	rng := rand.New(rand.NewSource(41))

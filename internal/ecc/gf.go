@@ -14,6 +14,12 @@ type GF256 struct {
 	log [256]byte // log[exp[i]] = i; log[0] unused
 }
 
+// gf256 is the shared table instance. The tables are immutable after
+// construction, so every RS code in the process can use one copy instead of
+// rebuilding 768 bytes of tables per codec (which NewRS used to do once per
+// fault injector per channel per run).
+var gf256 = NewGF256()
+
 // NewGF256 builds the log/antilog tables.
 func NewGF256() *GF256 {
 	f := &GF256{}

@@ -16,11 +16,28 @@ import (
 //   - SSC-DSD:  NewRS(36, 32, 1) — doubled channel of x4 chips; 4 check
 //     symbols give distance 5, but the deployed policy corrects one symbol
 //     and *detects* multi-symbol faults (MaxCorrect=1).
+//
+// Every codec call runs on scratch buffers the RS owns (see DESIGN.md,
+// "Codec scratch ownership"): encode/decode are allocation-free at steady
+// state, and in exchange an RS value is NOT goroutine-safe. Build one codec
+// per goroutine — which the system does anyway (one injector per channel,
+// one rank model per test).
 type RS struct {
 	f          *GF256
 	n, k       int
 	MaxCorrect int
 	gen        []byte // generator polynomial, degree n-k, gen[0] = x^(n-k) coeff = 1
+
+	// Scratch workspaces, sized once in NewRS so the hot paths never make
+	// or grow a slice. lambda/bpoly/tpoly carry the Berlekamp-Massey
+	// polynomials, whose lengths stay well under the generous polyCap.
+	rem       []byte
+	syn       []byte
+	lambda    []byte
+	bpoly     []byte
+	tpoly     []byte
+	omega     []byte
+	positions []int
 }
 
 // ErrDetected reports an error pattern the decode policy cannot correct but
@@ -37,7 +54,7 @@ func NewRS(n, k, maxCorrect int) *RS {
 	if maxCorrect <= 0 || maxCorrect > t {
 		maxCorrect = t
 	}
-	r := &RS{f: NewGF256(), n: n, k: k, MaxCorrect: maxCorrect}
+	r := &RS{f: gf256, n: n, k: k, MaxCorrect: maxCorrect}
 	// g(x) = prod_{i=0}^{n-k-1} (x - alpha^i)
 	g := []byte{1}
 	for i := 0; i < n-k; i++ {
@@ -54,6 +71,18 @@ func NewRS(n, k, maxCorrect int) *RS {
 		g[i], g[j] = g[j], g[i]
 	}
 	r.gen = g
+
+	nc := n - k
+	// The BM polynomials never exceed nc+1 coefficients plus the x^m shift
+	// (m <= nc); 2*nc+2 bounds them, doubled for headroom.
+	polyCap := 4*nc + 4
+	r.rem = make([]byte, nc)
+	r.syn = make([]byte, nc)
+	r.lambda = make([]byte, 0, polyCap)
+	r.bpoly = make([]byte, 0, polyCap)
+	r.tpoly = make([]byte, 0, polyCap)
+	r.omega = make([]byte, nc)
+	r.positions = make([]int, 0, nc)
 	return r
 }
 
@@ -66,12 +95,26 @@ func (r *RS) K() int { return r.k }
 // Encode appends n-k check symbols to the k data symbols and returns the
 // full n-symbol codeword (data first, systematic).
 func (r *RS) Encode(data []byte) []byte {
+	out := make([]byte, r.n)
+	r.EncodeInto(out, data)
+	return out
+}
+
+// EncodeInto writes the n-symbol codeword for data into out (len n), using
+// the codec's own division scratch — no allocation.
+func (r *RS) EncodeInto(out, data []byte) {
 	if len(data) != r.k {
 		panic(fmt.Sprintf("ecc: Encode wants %d data symbols, got %d", r.k, len(data)))
 	}
+	if len(out) != r.n {
+		panic(fmt.Sprintf("ecc: EncodeInto wants a %d-symbol buffer, got %d", r.n, len(out)))
+	}
 	nc := r.n - r.k
 	// Polynomial long division of data * x^(n-k) by gen.
-	rem := make([]byte, nc)
+	rem := r.rem[:nc]
+	for i := range rem {
+		rem[i] = 0
+	}
 	for _, d := range data {
 		factor := d ^ rem[0]
 		copy(rem, rem[1:])
@@ -82,21 +125,26 @@ func (r *RS) Encode(data []byte) []byte {
 			}
 		}
 	}
-	out := make([]byte, r.n)
 	copy(out, data)
 	copy(out[r.k:], rem)
-	return out
 }
 
 // Syndromes computes the n-k syndromes of a received word; all-zero means
 // the word is a valid codeword.
 func (r *RS) Syndromes(recv []byte) []byte {
+	syn := make([]byte, r.n-r.k)
+	r.syndromesInto(syn, recv)
+	return syn
+}
+
+// syndromesInto fills syn (len n-k) and reports whether every syndrome is
+// zero (a valid codeword).
+func (r *RS) syndromesInto(syn, recv []byte) (zero bool) {
 	if len(recv) != r.n {
 		panic(fmt.Sprintf("ecc: Syndromes wants %d symbols, got %d", r.n, len(recv)))
 	}
-	nc := r.n - r.k
-	syn := make([]byte, nc)
-	for i := 0; i < nc; i++ {
+	zero = true
+	for i := range syn {
 		// Evaluate the received polynomial at alpha^i. recv[0] holds the
 		// highest-degree coefficient (degree n-1).
 		var s byte
@@ -105,32 +153,39 @@ func (r *RS) Syndromes(recv []byte) []byte {
 			s = r.f.Mul(s, x) ^ c
 		}
 		syn[i] = s
+		if s != 0 {
+			zero = false
+		}
 	}
-	return syn
+	return zero
 }
 
 // Decode corrects recv in place (up to MaxCorrect symbol errors) and returns
 // the number of symbols corrected. It returns ErrDetected when the error
 // pattern exceeds the correction policy but is detectable.
 func (r *RS) Decode(recv []byte) (corrected int, err error) {
-	pos, err := r.DecodeReport(recv)
+	pos, err := r.decodeReport(recv)
 	return len(pos), err
 }
 
 // DecodeReport is Decode, additionally reporting which symbol indices were
 // corrected (nil for a clean word). Callers that attribute errors to chips —
 // or enforce cross-codeword consistency policies — need the positions, not
-// just the count.
+// just the count. The returned slice is freshly allocated (it does not alias
+// the codec's scratch); internal callers use decodeReport directly.
 func (r *RS) DecodeReport(recv []byte) (positions []int, err error) {
-	syn := r.Syndromes(recv)
-	zero := true
-	for _, s := range syn {
-		if s != 0 {
-			zero = false
-			break
-		}
+	pos, err := r.decodeReport(recv)
+	if pos == nil {
+		return nil, err
 	}
-	if zero {
+	return append([]int(nil), pos...), err
+}
+
+// decodeReport is the scratch-backed decoder core. The returned positions
+// slice aliases r.positions and is valid only until the next codec call.
+func (r *RS) decodeReport(recv []byte) (positions []int, err error) {
+	syn := r.syn[:r.n-r.k]
+	if r.syndromesInto(syn, recv) {
 		return nil, nil
 	}
 	lambda, errCount := r.berlekampMassey(syn)
@@ -142,20 +197,20 @@ func (r *RS) DecodeReport(recv []byte) (positions []int, err error) {
 		return nil, ErrDetected
 	}
 	r.forney(recv, syn, lambda, positions)
-	// Verify: residual syndromes must vanish.
-	for _, s := range r.Syndromes(recv) {
-		if s != 0 {
-			return nil, ErrDetected
-		}
+	// Verify: residual syndromes must vanish (syn is free for reuse here —
+	// forney has already consumed it).
+	if !r.syndromesInto(syn, recv) {
+		return nil, ErrDetected
 	}
 	return positions, nil
 }
 
 // berlekampMassey returns the error-locator polynomial (lowest degree first)
-// and its degree (the estimated error count).
+// and its degree (the estimated error count). The returned slice aliases the
+// codec's lambda scratch.
 func (r *RS) berlekampMassey(syn []byte) (lambda []byte, deg int) {
-	lambda = []byte{1}
-	b := []byte{1}
+	lambda = append(r.lambda[:0], 1)
+	b := append(r.bpoly[:0], 1)
 	var l, m int = 0, 1
 	var bb byte = 1
 	for n := 0; n < len(syn); n++ {
@@ -168,11 +223,12 @@ func (r *RS) berlekampMassey(syn []byte) (lambda []byte, deg int) {
 			continue
 		}
 		if 2*l <= n {
-			t := append([]byte(nil), lambda...)
+			t := append(r.tpoly[:0], lambda...)
 			coef := r.f.Div(d, bb)
 			lambda = polyAddShift(r.f, lambda, b, coef, m)
 			l = n + 1 - l
-			b = t
+			b = append(b[:0], t...)
+			r.tpoly = t[:0]
 			bb = d
 			m = 1
 		} else {
@@ -181,28 +237,32 @@ func (r *RS) berlekampMassey(syn []byte) (lambda []byte, deg int) {
 			m++
 		}
 	}
+	r.lambda, r.bpoly = lambda[:0], b[:0]
 	return lambda, l
 }
 
 // polyAddShift returns a + coef * b * x^shift (polynomials lowest degree
-// first).
+// first), extending a in place. a and b must not alias; a's capacity must
+// cover the result (guaranteed by the polyCap sizing in NewRS).
 func polyAddShift(f *GF256, a, b []byte, coef byte, shift int) []byte {
 	size := len(a)
 	if len(b)+shift > size {
 		size = len(b) + shift
 	}
-	out := make([]byte, size)
-	copy(out, a)
-	for i, c := range b {
-		out[i+shift] ^= f.Mul(c, coef)
+	for len(a) < size {
+		a = append(a, 0)
 	}
-	return out
+	for i, c := range b {
+		a[i+shift] ^= f.Mul(c, coef)
+	}
+	return a
 }
 
 // chienSearch finds error positions (indices into the received word, 0 =
 // highest-degree symbol = first byte) whose locators are roots of lambda.
+// The returned slice aliases the codec's positions scratch.
 func (r *RS) chienSearch(lambda []byte) []int {
-	var positions []int
+	positions := r.positions[:0]
 	for pos := 0; pos < r.n; pos++ {
 		// Symbol at index pos has degree n-1-pos, locator X = alpha^(n-1-pos).
 		// It is an error position iff lambda(X^-1) == 0.
@@ -215,6 +275,7 @@ func (r *RS) chienSearch(lambda []byte) []int {
 			positions = append(positions, pos)
 		}
 	}
+	r.positions = positions[:0]
 	return positions
 }
 
@@ -222,8 +283,9 @@ func (r *RS) chienSearch(lambda []byte) []int {
 func (r *RS) forney(recv, syn, lambda []byte, positions []int) {
 	// Omega(x) = [S(x) * Lambda(x)] mod x^(n-k), with S(x) = sum syn[i] x^i.
 	nc := r.n - r.k
-	omega := make([]byte, nc)
+	omega := r.omega[:nc]
 	for i := 0; i < nc; i++ {
+		omega[i] = 0
 		for j := 0; j <= i && j < len(lambda); j++ {
 			omega[i] ^= r.f.Mul(syn[i-j], lambda[j])
 		}

@@ -130,6 +130,8 @@ type Injector struct {
 
 	n       uint64 // burst index: the deterministic stream key
 	payload []byte
+	decoded []byte
+	burst   *ecc.Burst
 	clean   [][ecc.BytesPerChip]byte
 }
 
@@ -145,7 +147,9 @@ func New(cfg Config, scheme ecc.Scheme, hasECC bool) *Injector {
 	if hasECC {
 		in.codec = codec
 		in.payload = make([]byte, codec.DataBytes())
+		in.decoded = make([]byte, codec.DataBytes())
 	}
+	in.burst = ecc.NewBurst(in.chips)
 	in.clean = make([][ecc.BytesPerChip]byte, in.chips)
 	in.Counters.PerChip = make([]uint64, in.chips)
 	return in
@@ -153,6 +157,21 @@ func New(cfg Config, scheme ecc.Scheme, hasECC bool) *Injector {
 
 // Config returns the injector's configuration.
 func (in *Injector) Config() Config { return in.cfg }
+
+// Reset rewinds the injector for a fresh run under a new configuration,
+// keeping every workspace (codec scratch, burst, counters slice) so repeated
+// sweep points and campaign cells reuse one injector per channel instead of
+// rebuilding codecs and buffers each run. The deterministic stream restarts
+// at burst index 0, exactly as a freshly built injector would.
+func (in *Injector) Reset(cfg Config) {
+	in.cfg = cfg
+	in.n = 0
+	per := in.Counters.PerChip
+	for i := range per {
+		per[i] = 0
+	}
+	in.Counters = Counters{PerChip: per}
+}
 
 // stream is a splitmix64 PRNG keyed per burst.
 type stream struct{ s uint64 }
@@ -189,15 +208,16 @@ func (in *Injector) DataBurst(cmd dram.Command, at dram.Cycle) dram.BurstVerdict
 	in.Counters.Bursts++
 	st := newStream(in.cfg.Seed, idx)
 
-	var b *ecc.Burst
+	// The injector's one burst workspace: both branches overwrite every bit,
+	// so no Reset is needed between bursts.
+	b := in.burst
 	if in.hasECC {
 		for i := range in.payload {
 			in.payload[i] = byte(st.next())
 		}
-		b = in.codec.Encode(in.payload)
+		in.codec.EncodeInto(b, in.payload)
 	} else {
 		// No codec: the burst is raw data across the rank's chips.
-		b = ecc.NewBurst(in.chips)
 		for ch := range b.Chips {
 			for i := range b.Chips[ch] {
 				b.Chips[ch][i] = byte(st.next())
@@ -276,12 +296,12 @@ func (in *Injector) DataBurst(cmd dram.Command, at dram.Cycle) dram.BurstVerdict
 		return dram.BurstOK
 	}
 
-	data, corrected, err := in.codec.Decode(b)
+	corrected, err := in.codec.DecodeInto(in.decoded, b)
 	switch {
 	case err != nil:
 		in.Counters.DUEs++
 		return dram.BurstUncorrectable
-	case equalBytes(data, in.payload):
+	case equalBytes(in.decoded, in.payload):
 		in.Counters.CorrectedBursts++
 		in.Counters.CorrectedSymbols += uint64(corrected)
 		return dram.BurstCorrected

@@ -7,8 +7,9 @@
 // Guarantees:
 //
 //   - Bounded concurrency: at most Options.Workers goroutines run items,
-//     and exactly min(Workers, len(items)) goroutines are ever created —
-//     never one per item.
+//     and at most min(Workers, len(items)) goroutines are ever created —
+//     never one per item. A single-worker pool runs inline on the caller's
+//     goroutine, paying no dispatch overhead at all.
 //   - Deterministic ordering: result i always corresponds to item i,
 //     regardless of worker count or completion order.
 //   - Full error aggregation: every failing item's error is collected and
@@ -17,6 +18,12 @@
 //     items finish and the joined error includes ctx's cause.
 //   - Panic containment: a panicking item is converted into that item's
 //     error (with its stack) instead of crashing the whole sweep.
+//
+// Dispatch is chunked: workers draw contiguous index ranges, not single
+// indices, so the per-item channel handoff is amortized over the chunk.
+// Cheap items (single-design runs, small sweep cells) would otherwise spend
+// a measurable share of the sweep on scheduler wakeups — the
+// BenchmarkSweepParallelism regression this design removes.
 //
 // Workers must not share mutable state through the item function; each
 // simulation run owns a fresh sim.System, which is what makes the fan-out
@@ -72,42 +79,77 @@ func Map[T, R any](ctx context.Context, items []T, opts Options, fn func(ctx con
 		return res, ctx.Err()
 	}
 	errs := make([]error, n)
+	workers := opts.workers(n)
 	var (
 		wg         sync.WaitGroup
 		progressMu sync.Mutex
 		done       int
 	)
-	idx := make(chan int)
-	for w := 0; w < opts.workers(n); w++ {
+	progress := func() {
+		if opts.OnProgress != nil {
+			progressMu.Lock()
+			done++
+			opts.OnProgress(done, n)
+			progressMu.Unlock()
+		}
+	}
+	if workers == 1 {
+		// Degenerate pool: run every item inline on this goroutine. Same
+		// semantics — per-item cancellation check, panic containment,
+		// serialized progress — with zero goroutine/channel overhead, so a
+		// Workers:1 (or single-CPU) sweep costs exactly a for loop.
+		for i := 0; i < n && ctx.Err() == nil; i++ {
+			errs[i] = runOne(ctx, i, items[i], fn, &res[i])
+			progress()
+		}
+		return res, joinWith(ctx, errs)
+	}
+	// Chunked dispatch: hand each worker a contiguous index range so the
+	// channel handoff (and the attendant scheduler wakeup) is paid once per
+	// chunk, not once per item. ~8 chunks per worker keeps the tail balanced
+	// while amortizing dispatch; cancellation is still checked per item.
+	chunk := n / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	type span struct{ lo, hi int }
+	spans := make(chan span)
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idx {
-				errs[i] = runOne(ctx, i, items[i], fn, &res[i])
-				if opts.OnProgress != nil {
-					progressMu.Lock()
-					done++
-					opts.OnProgress(done, n)
-					progressMu.Unlock()
+			for sp := range spans {
+				for i := sp.lo; i < sp.hi && ctx.Err() == nil; i++ {
+					errs[i] = runOne(ctx, i, items[i], fn, &res[i])
+					progress()
 				}
 			}
 		}()
 	}
 feed:
-	for i := 0; i < n; i++ {
+	for lo := 0; lo < n; lo += chunk {
 		// The explicit Err check keeps the select's random choice from
-		// feeding extra items once cancellation has been observed.
+		// feeding extra spans once cancellation has been observed.
 		if ctx.Err() != nil {
 			break
 		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
 		select {
-		case idx <- i:
+		case spans <- span{lo, hi}:
 		case <-ctx.Done():
 			break feed
 		}
 	}
-	close(idx)
+	close(spans)
 	wg.Wait()
+	return res, joinWith(ctx, errs)
+}
+
+// joinWith joins the per-item errors plus the context cause, if any.
+func joinWith(ctx context.Context, errs []error) error {
 	var all []error
 	if err := ctx.Err(); err != nil {
 		all = append(all, err)
@@ -117,7 +159,7 @@ feed:
 			all = append(all, err)
 		}
 	}
-	return res, errors.Join(all...)
+	return errors.Join(all...)
 }
 
 // runOne executes one item, converting a panic into its error.

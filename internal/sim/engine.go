@@ -63,9 +63,11 @@ func channelFaultSeed(seed uint64, ch int) uint64 {
 
 func newEngine(s *System) *engine {
 	e := &engine{sys: s, busMHz: s.Design.Mem.ClockMHz}
-	// (Re)wire fault injection: a fresh injector per channel per run keeps
-	// replay deterministic, and clearing stale probes keeps a later clean
-	// run on the same warm system genuinely fault-free (and allocation-free).
+	// (Re)wire fault injection: the per-channel injectors live on the System
+	// and are Reset to a fresh deterministic stream per run — same replay as
+	// a fresh injector, but the codec scratch, burst workspace, and counters
+	// stay warm across runs. Clearing stale probes keeps a later clean run
+	// on the same warm system genuinely fault-free (and allocation-free).
 	inject := s.Faults != nil && s.Faults.Active()
 	for ch := 0; ch < s.Channels(); ch++ {
 		if !inject {
@@ -74,9 +76,16 @@ func newEngine(s *System) *engine {
 		}
 		cfg := *s.Faults
 		cfg.Seed = channelFaultSeed(s.Faults.Seed, ch)
-		in := fault.New(cfg, s.Design.BurstScheme(), s.Design.HasECC)
+		if ch == len(s.runInjectors) {
+			// Scheme and ECC presence are fixed by the design for the
+			// system's lifetime, so a cached injector always matches.
+			s.runInjectors = append(s.runInjectors, fault.New(cfg, s.Design.BurstScheme(), s.Design.HasECC))
+		} else {
+			s.runInjectors[ch].Reset(cfg)
+		}
+		in := s.runInjectors[ch]
 		s.devices[ch].Probe = in
-		e.injectors = append(e.injectors, in)
+		e.injectors = s.runInjectors
 		if s.Faults.MaxRetries > 0 {
 			s.controllers[ch].SetMaxRetries(s.Faults.MaxRetries)
 		}
@@ -86,15 +95,21 @@ func newEngine(s *System) *engine {
 	// from a single goroutine, and a cross-channel latency distribution is
 	// what the run-level histograms mean.
 	m := mc.NewMetrics(e.reg)
+	if cap(s.devBase) < s.Channels() {
+		s.devBase = make([]dram.DeviceStats, s.Channels())
+		s.ctlBase = make([]mc.Stats, s.Channels())
+	}
+	e.devBase = s.devBase[:s.Channels()]
+	e.ctlBase = s.ctlBase[:s.Channels()]
 	for ch := 0; ch < s.Channels(); ch++ {
 		cs := s.controllers[ch].Stats
 		if cs.BusCycleOfLastAccess > e.t0 {
 			e.t0 = cs.BusCycleOfLastAccess
 		}
-		// Clone: DeviceStats carries the per-bank slice, and an aliased
+		// CloneInto: DeviceStats carries the per-bank slice, and an aliased
 		// baseline would track the live stats and zero every delta.
-		e.devBase = append(e.devBase, s.devices[ch].Stats.Clone())
-		e.ctlBase = append(e.ctlBase, cs)
+		s.devices[ch].Stats.CloneInto(&e.devBase[ch])
+		e.ctlBase[ch] = cs
 		s.controllers[ch].Metrics = m
 	}
 	return e

@@ -76,6 +76,15 @@ type System struct {
 	// run-relative.
 	Events  *etrace.Buffer
 	Sampler *etrace.Sampler
+
+	// Run arenas, reused across Run invocations on this system so repeated
+	// sweep points stop reallocating their world each run: the per-channel
+	// fault injectors (codec scratch, burst workspace, counters — Reset to a
+	// fresh deterministic stream each run) and the engine's run-relative
+	// stat baselines.
+	runInjectors []*fault.Injector
+	devBase      []dram.DeviceStats
+	ctlBase      []mc.Stats
 }
 
 // FaultModel configures fault injection; it is fault.Config verbatim (seed,

@@ -20,14 +20,35 @@ RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' -bench . -benchmem -benchtime "${MICRO_BENCHTIME:-1s}" \
-    ./internal/mc ./internal/ecc | tee "$RAW"
+    ./internal/mc ./internal/ecc ./internal/etrace | tee "$RAW"
 go test -run '^$' -bench . -benchmem -benchtime 1x . | tee -a "$RAW"
+# The serial-vs-parallel contrast is a ratio of two wall-clock times, and
+# at one iteration each the ratio is mostly noise (the 1x run above leaves
+# a large heap behind, too). Re-run the pair in a fresh process at a real
+# iteration count; the parser keeps the later, better-sampled entries.
+go test -run '^$' -bench 'Parallelism' -benchmem \
+    -benchtime "${PAR_BENCHTIME:-5x}" . | tee -a "$RAW"
 
 # go test bench lines are "BenchmarkName-P  iters  value unit  value unit ...";
 # fold the value/unit pairs into JSON keys (ns/op -> ns_per_op, custom
 # metric units keep their name with non-alphanumerics mapped to _).
+#
+# go test prints the benchmark name before running it and the results after,
+# so anything written to stdout in between (or an interrupted run) leaves the
+# name on a line of its own and the results on the next. That split hit
+# subtest-named benchmarks reporting custom metrics and silently dropped
+# them from the JSON (worse: a trailing bare name emitted "iterations":}
+# — invalid JSON). Buffer a name-only line and rejoin it with its results
+# line; a name whose results never arrive is reported on stderr, not
+# half-emitted.
 awk -v date="$DATE" -v goversion="$(go env GOVERSION)" '
-/^Benchmark/ {
+/^Benchmark/ && NF == 1 { pending = $1; next }
+pending != "" {
+    if ($1 ~ /^[0-9]+$/) { $0 = pending "\t" $0 }
+    else printf "bench.sh: dropping %s: no results line\n", pending > "/dev/stderr"
+    pending = ""
+}
+/^Benchmark/ && $2 ~ /^[0-9]+$/ {
     name = $1; sub(/-[0-9]+$/, "", name)
     line = sprintf("{\"name\":\"%s\",\"iterations\":%s", name, $2)
     for (i = 3; i + 1 <= NF; i += 2) {
@@ -38,9 +59,14 @@ awk -v date="$DATE" -v goversion="$(go env GOVERSION)" '
         else { key = unit; gsub(/[^A-Za-z0-9]/, "_", key) }
         line = line sprintf(",\"%s\":%s", key, val)
     }
-    out[n++] = line "}"
+    # A name measured twice (the Parallelism re-run) keeps its later,
+    # better-sampled entry in its original position.
+    if (name in idx) out[idx[name]] = line "}"
+    else { idx[name] = n; out[n++] = line "}" }
 }
 END {
+    if (pending != "")
+        printf "bench.sh: dropping %s: no results line\n", pending > "/dev/stderr"
     printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [\n", date, goversion
     for (i = 0; i < n; i++) printf "    %s%s\n", out[i], (i < n - 1 ? "," : "")
     printf "  ]\n}\n"
