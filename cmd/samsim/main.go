@@ -24,6 +24,7 @@ import (
 	"sam/internal/etrace"
 	"sam/internal/fault"
 	"sam/internal/imdb"
+	"sam/internal/mc"
 	"sam/internal/prof"
 	"sam/internal/runner"
 	"sam/internal/sim"
@@ -54,7 +55,8 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 0, "fault-injection seed (0 = workload seed)")
 	faultChips := flag.String("fault-chips", "", "comma-separated dead-chip indices, each as chip or rank:chip (-1 rank = all)")
 	faultStuck := flag.String("fault-stuck", "", "comma-separated stuck DQ lines, each as chip:dq:value (value 0 or 1)")
-	faultRetries := flag.Int("fault-retries", 0, "read-retry budget before poisoning (0 = controller default)")
+	faultRetries := flag.Int("fault-retries", mc.DefaultConfig().MaxRetries, "read-retry budget before poisoning (0 = poison on first DUE)")
+	shardWorkers := flag.Int("shard-workers", 0, "run-engine event-domain workers: 0 = auto (min(channels, GOMAXPROCS)), 1 = serial, >=2 = force sharding")
 	traceOut := flag.String("trace", "", "dump the memory request trace to this file")
 	eventOut := flag.String("trace-out", "", "write a cycle-accurate Chrome/Perfetto trace-event JSON to this file")
 	traceCSV := flag.String("trace-csv", "", "write the windowed time-series samples as CSV to this file")
@@ -121,10 +123,11 @@ func main() {
 
 	eventTracing := *eventOut != "" || *traceCSV != ""
 	var res, base *sim.QueryResult
-	if faults != nil || *traceOut != "" || eventTracing {
+	if faults != nil || *traceOut != "" || eventTracing || *shardWorkers != 0 {
 		// Build the system by hand so the extras can be attached.
 		d := design.New(kind, design.Options{})
 		s := sim.NewSystem(d)
+		s.ShardWorkers = *shardWorkers
 		s.AddTable(imdb.NewTable(imdb.Ta(w.TaRecords), w.Seed), false)
 		s.AddTable(imdb.NewTable(imdb.Tb(w.TbRecords), w.Seed+1), false)
 		if faults != nil {

@@ -56,13 +56,21 @@ type line struct {
 	lru      uint64
 }
 
-// Cache is one level.
+// Cache is one level. Sets are allocated lazily: the directory maps each
+// set index to its way array inside one flat, pointer-free backing slice,
+// carved out on the set's first Fill. Building (and flushing) a large,
+// mostly untouched level therefore costs the int32 directory only, not
+// SizeBytes/LineBytes lines of zeroed backing — and the GC never scans
+// per-set slice headers.
 type Cache struct {
 	cfg      Config
-	sets     [][]line
+	setOff   []int32 // per set: 1 + backing offset of its ways; 0 = untouched
+	backing  []line  // way arrays of touched sets, in first-touch order
 	setMask  uint64
 	lineBits uint
+	setShift uint
 	secBytes int
+	hitLat   int
 	clock    uint64
 	Stats    Stats
 }
@@ -80,20 +88,57 @@ func New(cfg Config) *Cache {
 	for 1<<lineBits < cfg.LineBytes {
 		lineBits++
 	}
-	c := &Cache{
+	setShift := uint(0)
+	for 1<<setShift < nSets {
+		setShift++
+	}
+	return &Cache{
 		cfg:      cfg,
-		sets:     make([][]line, nSets),
+		setOff:   make([]int32, nSets),
 		setMask:  uint64(nSets - 1),
 		lineBits: lineBits,
+		setShift: setShift,
 		secBytes: cfg.LineBytes / cfg.Sectors,
+		hitLat:   cfg.HitLatency,
 	}
-	// One flat backing array sliced per set: building an LLC is 2 allocations
-	// instead of 1+nSets (16k sets dominated the per-run allocation profile).
-	backing := make([]line, nSets*cfg.Ways)
-	for i := range c.sets {
-		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+}
+
+// peek returns set idx's way array, or nil while the set is untouched.
+func (c *Cache) peek(idx int) []line {
+	off := c.setOff[idx]
+	if off == 0 {
+		return nil
 	}
-	return c
+	b := int(off - 1)
+	return c.backing[b : b+c.cfg.Ways]
+}
+
+// set returns set idx's way array, carving it from the backing on first use.
+func (c *Cache) set(idx int) []line {
+	if s := c.peek(idx); s != nil {
+		return s
+	}
+	w := c.cfg.Ways
+	base := len(c.backing)
+	if cap(c.backing)-base < w {
+		newCap := 4 * cap(c.backing)
+		if min := base + w; newCap < min {
+			newCap = min
+		}
+		if newCap < 64*w {
+			newCap = 64 * w
+		}
+		nb := make([]line, base, newCap)
+		copy(nb, c.backing)
+		c.backing = nb
+	}
+	c.backing = c.backing[:base+w]
+	s := c.backing[base : base+w]
+	// InvalidateAll retracts len but keeps cap, so re-exposed lines may hold
+	// stale state.
+	clear(s)
+	c.setOff[idx] = int32(base) + 1
+	return s
 }
 
 // Config returns the level configuration.
@@ -102,13 +147,7 @@ func (c *Cache) Config() Config { return c.cfg }
 // SectorBytes returns the sector granularity.
 func (c *Cache) SectorBytes() int { return c.secBytes }
 
-func (c *Cache) setBits() uint {
-	var n uint
-	for 1<<n <= int(c.setMask) {
-		n++
-	}
-	return n
-}
+func (c *Cache) setBits() uint { return c.setShift }
 
 func (c *Cache) locate(addr uint64) (setIdx int, tag uint64) {
 	lineAddr := addr >> c.lineBits
@@ -158,8 +197,9 @@ func (c *Cache) Access(addr uint64, size int, write bool) Outcome {
 	setIdx, tag := c.locate(addr)
 	mask := c.sectorMask(addr, size)
 	c.clock++
-	for i := range c.sets[setIdx] {
-		ln := &c.sets[setIdx][i]
+	set := c.peek(setIdx)
+	for i := range set {
+		ln := &set[i]
 		if ln.valid != 0 && ln.tag == tag {
 			if ln.valid&mask == mask {
 				ln.lru = c.clock
@@ -185,11 +225,19 @@ func (c *Cache) Access(addr uint64, size int, write bool) Outcome {
 func (c *Cache) Fill(addr uint64, sectors uint64, markDirty, sectored bool) (ev Eviction, evicted bool) {
 	setIdx, tag := c.locate(addr)
 	c.clock++
-	set := c.sets[setIdx]
-	// Widen an existing line.
+	set := c.set(setIdx)
+	// One pass: widen an existing line if present, otherwise remember the
+	// victim (first invalid way, else LRU).
+	victim, invalid := 0, -1
 	for i := range set {
 		ln := &set[i]
-		if ln.valid != 0 && ln.tag == tag {
+		if ln.valid == 0 {
+			if invalid < 0 {
+				invalid = i
+			}
+			continue
+		}
+		if ln.tag == tag {
 			ln.valid |= sectors
 			if markDirty {
 				ln.dirty |= sectors
@@ -198,17 +246,12 @@ func (c *Cache) Fill(addr uint64, sectors uint64, markDirty, sectored bool) (ev 
 			ln.lru = c.clock
 			return Eviction{}, false
 		}
+		if ln.lru < set[victim].lru {
+			victim = i
+		}
 	}
-	// Find a victim: invalid way first, else LRU.
-	victim := 0
-	for i := range set {
-		if set[i].valid == 0 {
-			victim = i
-			break
-		}
-		if set[i].lru < set[victim].lru {
-			victim = i
-		}
+	if invalid >= 0 {
+		victim = invalid
 	}
 	ln := &set[victim]
 	if ln.valid != 0 {
@@ -239,8 +282,9 @@ func (c *Cache) Fill(addr uint64, sectors uint64, markDirty, sectored bool) (ev 
 func (c *Cache) Contains(addr uint64, size int) bool {
 	setIdx, tag := c.locate(addr)
 	mask := c.sectorMask(addr, size)
-	for i := range c.sets[setIdx] {
-		ln := &c.sets[setIdx][i]
+	set := c.peek(setIdx)
+	for i := range set {
+		ln := &set[i]
 		if ln.valid != 0 && ln.tag == tag {
 			return ln.valid&mask == mask
 		}
@@ -248,13 +292,12 @@ func (c *Cache) Contains(addr uint64, size int) bool {
 	return false
 }
 
-// InvalidateAll clears the cache (used between experiment phases).
+// InvalidateAll clears the cache (used between experiment phases): every
+// set returns to the untouched state and the backing is retracted for
+// reuse.
 func (c *Cache) InvalidateAll() {
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			c.sets[s][w] = line{}
-		}
-	}
+	clear(c.setOff)
+	c.backing = c.backing[:0]
 }
 
 // FullSectorMask returns the bitmap covering every sector of a line.

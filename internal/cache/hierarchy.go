@@ -68,7 +68,7 @@ func (h *Hierarchy) Access(addr uint64, size int, write, sectored bool) AccessRe
 	var res AccessResult
 	hitAt := 0
 	for i, lvl := range h.levels {
-		res.Latency += lvl.Config().HitLatency
+		res.Latency += lvl.hitLat
 		switch lvl.Access(addr, size, write) {
 		case Hit:
 			hitAt = i + 1
@@ -174,9 +174,13 @@ func (h *Hierarchy) FlushDirty() []MemOp {
 	var ops []MemOp
 	for li := len(h.levels) - 1; li >= 0; li-- {
 		lvl := h.levels[li]
-		for s := range lvl.sets {
-			for w := range lvl.sets[s] {
-				ln := &lvl.sets[s][w]
+		// Walk the directory in set-index order (not backing/touch order)
+		// so the writeback op sequence — which feeds the memory system —
+		// is independent of the sets' first-touch history.
+		for s := range lvl.setOff {
+			set := lvl.peek(s)
+			for w := range set {
+				ln := &set[w]
 				if ln.valid != 0 && ln.dirty != 0 {
 					addr := (ln.tag<<lvl.setBits() | uint64(s)) << lvl.lineBits
 					ops = append(ops, MemOp{Addr: addr, IsWrite: true, Sectors: ln.dirty, Sectored: ln.sectored})

@@ -144,8 +144,9 @@ func (m *MDA) coherenceInvalidateRow(addr uint64) {
 // as invalidate-on-write; a production design would forward dirty data).
 func (c *Cache) invalidateLine(addr uint64) {
 	setIdx, tag := c.locate(addr)
-	for i := range c.sets[setIdx] {
-		ln := &c.sets[setIdx][i]
+	set := c.peek(setIdx)
+	for i := range set {
+		ln := &set[i]
 		if ln.valid != 0 && ln.tag == tag {
 			*ln = line{}
 			return

@@ -119,6 +119,47 @@ func (s *DeviceStats) Add(o DeviceStats) {
 	}
 }
 
+// AddSub accumulates the delta cur-minus-base into s without allocating:
+// Sub followed by Add, but the per-bank entries are applied in place,
+// reusing s.PerBank's backing (grown only on first use). The run engine's
+// windowed sampler uses this to build per-sample cross-channel deltas on a
+// scratch DeviceStats instead of cloning every channel's bank slice per
+// window.
+func (s *DeviceStats) AddSub(cur, base DeviceStats) {
+	s.Acts += cur.Acts - base.Acts
+	s.Pres += cur.Pres - base.Pres
+	s.Refs += cur.Refs - base.Refs
+	s.Reads += cur.Reads - base.Reads
+	s.Writes += cur.Writes - base.Writes
+	s.StrideReads += cur.StrideReads - base.StrideReads
+	s.StrideWrites += cur.StrideWrites - base.StrideWrites
+	s.GangedBursts += cur.GangedBursts - base.GangedBursts
+	s.ModeSwitches += cur.ModeSwitches - base.ModeSwitches
+	s.BusBusyCycles += cur.BusBusyCycles - base.BusBusyCycles
+	s.ColumnWordsFetched += cur.ColumnWordsFetched - base.ColumnWordsFetched
+	s.ColumnWordsRequested += cur.ColumnWordsRequested - base.ColumnWordsRequested
+	for len(s.PerBank) < len(cur.PerBank) {
+		s.PerBank = append(s.PerBank, BankStats{})
+	}
+	for i, b := range cur.PerBank {
+		if i < len(base.PerBank) {
+			o := base.PerBank[i]
+			b.Acts -= o.Acts
+			b.Pres -= o.Pres
+			b.Reads -= o.Reads
+			b.Writes -= o.Writes
+			b.RowHits -= o.RowHits
+			b.RowMisses -= o.RowMisses
+		}
+		s.PerBank[i].Acts += b.Acts
+		s.PerBank[i].Pres += b.Pres
+		s.PerBank[i].Reads += b.Reads
+		s.PerBank[i].Writes += b.Writes
+		s.PerBank[i].RowHits += b.RowHits
+		s.PerBank[i].RowMisses += b.RowMisses
+	}
+}
+
 // PerBankActs extracts the per-bank activate counts (for the power model's
 // per-bank activation energy).
 func (s DeviceStats) PerBankActs() []uint64 {
@@ -253,6 +294,10 @@ type BurstProbe interface {
 type Device struct {
 	cfg   Config
 	ranks []rankState
+	// flatBanks indexes every bank by its flat BankIndex — the scheduler
+	// polls OpenRowAt once per occupied bank per service, so the lookup
+	// must be one load, not a div/mod re-derivation.
+	flatBanks []*bankState
 	// Data bus occupancy.
 	busFreeAt    Cycle
 	busOwnerRank int
@@ -300,6 +345,12 @@ func NewDevice(cfg Config) *Device {
 		rs.refUntil = never
 		rs.wrDataEnd, rs.rdDataEnd = never, never
 	}
+	d.flatBanks = make([]*bankState, 0, cfg.Geometry.Ranks*cfg.Geometry.Banks())
+	for r := range d.ranks {
+		for b := range d.ranks[r].banks {
+			d.flatBanks = append(d.flatBanks, &d.ranks[r].banks[b])
+		}
+	}
 	return d
 }
 
@@ -335,10 +386,9 @@ func (d *Device) NumBanks() int {
 
 // OpenRowAt is BankOpenRow addressed by the flat BankIndex — the cheap
 // per-bank lookup the controller's scheduling index consults on its hot
-// path (no coordinate unflattening beyond one div/mod).
+// path (a single indexed load).
 func (d *Device) OpenRowAt(idx int) (int, bool) {
-	per := d.cfg.Geometry.Banks()
-	b := &d.ranks[idx/per].banks[idx%per]
+	b := d.flatBanks[idx]
 	return b.row, b.open
 }
 

@@ -122,23 +122,23 @@ func (e Event) ClassName() string {
 // plenty for any single benchmark query at the default workload scale.
 const DefaultCapacity = 1 << 20
 
-// Buffer is the bounded event ring. One buffer serves every channel of a
-// system (events carry their channel); like the simulator's registries it
-// is goroutine-confined — one buffer per run, no locking.
+// Buffer is the bounded event recorder. One buffer serves every channel of
+// a system, but each channel's tracer owns a private ring (bounded by the
+// buffer capacity), so the per-channel event domains of a sharded run can
+// record concurrently without locks — a channel's ring is only ever touched
+// by the goroutine replaying that channel, exactly like the controller and
+// device it instruments.
 type Buffer struct {
 	// Name labels the buffer in exports (typically the design name).
 	Name string
 
-	cap     int
-	events  []Event // grows up to cap, then wraps
-	start   int     // index of the oldest event once wrapped
-	dropped uint64
-	chans   []*ChannelTracer
+	cap   int
+	chans []*ChannelTracer
 }
 
-// NewBuffer builds a ring holding at most capacity events (<= 0 selects
-// DefaultCapacity). Storage grows on demand up to the bound, so small runs
-// never pay for an oversized ring.
+// NewBuffer builds a buffer whose per-channel rings hold at most capacity
+// events each (<= 0 selects DefaultCapacity). Storage grows on demand up to
+// the bound, so small runs never pay for an oversized ring.
 func NewBuffer(capacity int) *Buffer {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
@@ -159,43 +159,74 @@ func (b *Buffer) Channel(ch int) *ChannelTracer {
 	return b.chans[ch]
 }
 
-// add appends one event, overwriting the oldest once the ring is full.
-func (b *Buffer) add(e Event) {
-	if len(b.events) < b.cap {
-		b.events = append(b.events, e)
-		return
+// Len returns the number of retained events across all channels.
+func (b *Buffer) Len() int {
+	n := 0
+	for _, t := range b.chans {
+		if t != nil {
+			n += len(t.events)
+		}
 	}
-	b.events[b.start] = e
-	b.start++
-	if b.start == b.cap {
-		b.start = 0
-	}
-	b.dropped++
+	return n
 }
 
-// Len returns the number of retained events.
-func (b *Buffer) Len() int { return len(b.events) }
+// Dropped returns how many events the rings have overwritten, summed across
+// channels.
+func (b *Buffer) Dropped() uint64 {
+	var n uint64
+	for _, t := range b.chans {
+		if t != nil {
+			n += t.dropped
+		}
+	}
+	return n
+}
 
-// Dropped returns how many events the ring has overwritten.
-func (b *Buffer) Dropped() uint64 { return b.dropped }
-
-// Capacity returns the ring bound.
+// Capacity returns the per-channel ring bound.
 func (b *Buffer) Capacity() int { return b.cap }
 
-// Events returns the retained events oldest-first.
+// Events returns the retained events, each channel's oldest-first, channels
+// concatenated in index order. Within a channel the sequence is exact
+// emission order; across channels events interleave by channel block, so
+// time-ordered consumers (the Chrome exporter) sort by timestamp — which
+// they already did, since even a single serial ring interleaves channels by
+// completion order, not by time.
 func (b *Buffer) Events() []Event {
-	out := make([]Event, 0, len(b.events))
-	out = append(out, b.events[b.start:]...)
-	out = append(out, b.events[:b.start]...)
+	n := b.Len()
+	out := make([]Event, 0, n)
+	for _, t := range b.chans {
+		if t == nil {
+			continue
+		}
+		out = append(out, t.events[t.start:]...)
+		out = append(out, t.events[:t.start]...)
+	}
 	return out
 }
 
-// ChannelTracer records one channel's events into the shared buffer. It
-// implements both mc.Tracer and dram.CmdTracer, so the same handle attaches
-// to a channel's controller and device.
+// ChannelTracer records one channel's events into that channel's private
+// ring. It implements both mc.Tracer and dram.CmdTracer, so the same handle
+// attaches to a channel's controller and device.
 type ChannelTracer struct {
-	b  *Buffer
-	ch int16
+	b       *Buffer
+	ch      int16
+	events  []Event // grows up to b.cap, then wraps
+	start   int     // index of the oldest event once wrapped
+	dropped uint64
+}
+
+// add appends one event, overwriting the oldest once the ring is full.
+func (t *ChannelTracer) add(e Event) {
+	if len(t.events) < t.b.cap {
+		t.events = append(t.events, e)
+		return
+	}
+	t.events[t.start] = e
+	t.start++
+	if t.start == t.b.cap {
+		t.start = 0
+	}
+	t.dropped++
 }
 
 func reqFlags(isWrite, stride, gang bool) uint8 {
@@ -214,7 +245,7 @@ func reqFlags(isWrite, stride, gang bool) uint8 {
 
 // ReqEnqueued implements mc.Tracer.
 func (t *ChannelTracer) ReqEnqueued(at dram.Cycle, r mc.Request, bank int32, queueDepth int) {
-	t.b.add(Event{
+	t.add(Event{
 		Kind: KindEnqueue, Chan: t.ch, Rank: -1, Group: -1,
 		At: at, ID: r.ID, Addr: r.Addr, Bank: bank,
 		Flags: reqFlags(r.IsWrite, r.Stride, r.Gang), Lane: uint8(r.Lane & 0xff),
@@ -224,7 +255,7 @@ func (t *ChannelTracer) ReqEnqueued(at dram.Cycle, r mc.Request, bank int32, que
 
 // ReqScheduled implements mc.Tracer.
 func (t *ChannelTracer) ReqScheduled(at dram.Cycle, r mc.Request, bank int32) {
-	t.b.add(Event{
+	t.add(Event{
 		Kind: KindSchedule, Chan: t.ch, Rank: -1, Group: -1,
 		At: at, ID: r.ID, Addr: r.Addr, Bank: bank,
 		Flags: reqFlags(r.IsWrite, r.Stride, r.Gang), Lane: uint8(r.Lane & 0xff),
@@ -244,7 +275,7 @@ func (t *ChannelTracer) ReqCompleted(comp mc.Completion, bank int32) {
 	if comp.Poisoned {
 		flags |= FlagPoisoned
 	}
-	t.b.add(Event{
+	t.add(Event{
 		Kind: KindComplete, Chan: t.ch, Rank: -1, Group: -1,
 		At: comp.IssueAt, ID: r.ID, Addr: r.Addr, Bank: bank,
 		Flags: flags, Lane: uint8(r.Lane & 0xff),
@@ -260,7 +291,7 @@ func (t *ChannelTracer) ReqFaulted(at dram.Cycle, r mc.Request, bank int32, atte
 	if poisoned {
 		flags |= FlagPoisoned
 	}
-	t.b.add(Event{
+	t.add(Event{
 		Kind: KindFault, Chan: t.ch, Rank: -1, Group: -1,
 		At: at, ID: r.ID, Addr: r.Addr, Bank: bank,
 		Flags: flags, Lane: uint8(r.Lane & 0xff),
@@ -277,7 +308,7 @@ func (t *ChannelTracer) CommandIssued(cmd dram.Command, at dram.Cycle, res dram.
 	if cmd.Mode.IsStride() {
 		flags |= FlagStride
 	}
-	t.b.add(Event{
+	t.add(Event{
 		Kind: KindCommand, Chan: t.ch,
 		Cmd: cmd.Kind, Mode: cmd.Mode, Flags: flags,
 		Rank: int16(cmd.Rank), Group: int16(cmd.Group), Bank: int32(cmd.Bank),

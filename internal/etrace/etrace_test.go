@@ -35,6 +35,35 @@ func TestRingOverflowDropsOldest(t *testing.T) {
 	}
 }
 
+// TestPerChannelRingsIndependent pins the sharded-engine contract: each
+// channel tracer owns its own ring, so one channel overflowing (and
+// dropping its oldest events) never evicts another channel's events, drop
+// accounting is per channel, and Events() concatenates the surviving
+// blocks in channel order.
+func TestPerChannelRingsIndependent(t *testing.T) {
+	b := NewBuffer(4)
+	noisy, quiet := b.Channel(0), b.Channel(1)
+	quiet.ReqScheduled(1, mc.Request{ID: 100}, 0)
+	for i := 0; i < 10; i++ {
+		noisy.ReqScheduled(dram.Cycle(10 + i), mc.Request{ID: uint64(i)}, 0)
+	}
+	if b.Dropped() != 6 {
+		t.Fatalf("Dropped=%d, want 6 (noisy channel only)", b.Dropped())
+	}
+	if b.Len() != 5 {
+		t.Fatalf("Len=%d, want 4 noisy + 1 quiet", b.Len())
+	}
+	evs := b.Events()
+	for i := 0; i < 4; i++ {
+		if evs[i].Chan != 0 || evs[i].At != int64(16+i) {
+			t.Fatalf("event %d = ch%d@%d, want ch0@%d (newest 4 survive)", i, evs[i].Chan, evs[i].At, 16+i)
+		}
+	}
+	if last := evs[4]; last.Chan != 1 || last.At != 1 {
+		t.Fatalf("quiet channel's event lost: got ch%d@%d", last.Chan, last.At)
+	}
+}
+
 func TestChannelHandleCachedAndShared(t *testing.T) {
 	b := NewBuffer(16)
 	if b.Channel(2) != b.Channel(2) {

@@ -58,9 +58,12 @@ type Config struct {
 	// Persistent per-rank fault map, applied to every burst it covers.
 	DeadChips []ChipFault
 	StuckDQs  []StuckDQ
-	// MaxRetries bounds the controller's read-retry loop before poisoning;
-	// 0 keeps the controller default. (Plumbed by the sim layer — the
-	// injector itself never retries.)
+	// MaxRetries bounds the controller's read-retry loop before poisoning:
+	// 0 means poison on the first detected-uncorrectable read (no
+	// retries). The sim layer applies this budget on every fault-injected
+	// run and restores the controller default on fault-free runs, so a
+	// campaign point never inherits the previous point's budget. (Plumbed
+	// by the sim layer — the injector itself never retries.)
 	MaxRetries int
 }
 

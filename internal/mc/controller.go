@@ -241,6 +241,37 @@ func DefaultConfig() Config {
 	return Config{WriteQueueCap: 32, WriteDrainHigh: 24, WriteDrainLow: 8, ReadQueueCap: 64, MaxRetries: 3}
 }
 
+// PickKind is the controller's read-vs-write queue selection as a pure
+// function of the queue occupancies and the drain latch: reads have
+// priority, writes drain in batches between the hysteresis watermarks or
+// opportunistically when no reads are pending. It returns the chosen kind
+// (isWrite), whether the choice was a drain pick (counted in
+// Stats.WriteDrains), the updated latch, and ok=false when both queues are
+// empty.
+//
+// pickQueue delegates here, and the sharded run engine replays the same
+// function over mirrored occupancy counts to precompute each channel's
+// service schedule — keeping the two in one body is what makes the mirror
+// drift-proof by construction.
+func (cfg Config) PickKind(readN, writeN int, draining bool) (isWrite, drainPick, nowDraining, ok bool) {
+	if writeN >= cfg.WriteDrainHigh {
+		draining = true
+	}
+	if writeN <= cfg.WriteDrainLow {
+		draining = false
+	}
+	switch {
+	case draining && writeN > 0:
+		return true, true, draining, true
+	case readN > 0:
+		return false, false, draining, true
+	case writeN > 0:
+		return true, false, draining, true
+	default:
+		return false, false, draining, false
+	}
+}
+
 // NewController builds a controller over a device.
 func NewController(dev *dram.Device, cfg Config) *Controller {
 	if cfg.WriteQueueCap <= 0 || cfg.WriteDrainHigh > cfg.WriteQueueCap || cfg.WriteDrainLow >= cfg.WriteDrainHigh || cfg.ReadQueueCap <= 0 ||
@@ -268,6 +299,12 @@ func (c *Controller) SetMaxRetries(n int) {
 
 // AddrMap exposes the controller's address mapping.
 func (c *Controller) AddrMap() *AddrMap { return c.amap }
+
+// Config returns the controller's current configuration (including any
+// SetMaxRetries adjustment). The sharded engine reads it to seed each
+// channel's occupancy mirror with the exact watermarks the controller
+// schedules by.
+func (c *Controller) Config() Config { return c.cfg }
 
 // Pending returns the number of queued requests.
 func (c *Controller) Pending() int { return c.readQ.n + c.writeQ.n }
@@ -320,8 +357,12 @@ func (c *Controller) ServiceOne() (Completion, bool) {
 		return Completion{}, false
 	}
 	slot := c.frFCFS(q)
-	e := q.slots[slot] // copy out before the slot returns to the freelist
+	// Unlink first, then service through a pointer: remove only relinks
+	// (the slot's payload is untouched until the next push, and no push
+	// can happen mid-service), which saves copying the ~100-byte entry on
+	// every service.
 	q.remove(slot)
+	e := &q.slots[slot]
 
 	if c.now < e.req.Arrival {
 		c.now = e.req.Arrival
@@ -330,8 +371,8 @@ func (c *Controller) ServiceOne() (Completion, bool) {
 		c.Trace.ReqScheduled(c.now, e.req, e.bank)
 	}
 	c.serviceRefresh()
-	c.prepareAhead(q, &e)
-	comp := c.access(&e)
+	c.prepareAhead(q, e)
+	comp := c.access(e)
 	if e.req.IsWrite {
 		c.Stats.Writes++
 	} else {
@@ -351,27 +392,21 @@ func (c *Controller) ServiceOne() (Completion, bool) {
 	return comp, true
 }
 
-// pickQueue decides between the read queue and the write queue (reads have
-// priority; writes drain in batches between watermarks or when no reads
-// are pending).
+// pickQueue decides between the read queue and the write queue via
+// Config.PickKind, updating the drain latch and the drain tally.
 func (c *Controller) pickQueue() *reqQueue {
-	if c.writeQ.n >= c.cfg.WriteDrainHigh {
-		c.draining = true
-	}
-	if c.writeQ.n <= c.cfg.WriteDrainLow {
-		c.draining = false
-	}
-	switch {
-	case c.draining && c.writeQ.n > 0:
-		c.Stats.WriteDrains++
-		return &c.writeQ
-	case c.readQ.n > 0:
-		return &c.readQ
-	case c.writeQ.n > 0:
-		return &c.writeQ
-	default:
+	isWrite, drainPick, draining, ok := c.cfg.PickKind(c.readQ.n, c.writeQ.n, c.draining)
+	c.draining = draining
+	if !ok {
 		return nil
 	}
+	if drainPick {
+		c.Stats.WriteDrains++
+	}
+	if isWrite {
+		return &c.writeQ
+	}
+	return &c.readQ
 }
 
 // starvationLimit caps FR-FCFS reordering: once the oldest *read* has
@@ -390,11 +425,16 @@ const starvationLimit = 16384
 // by enqueue order (seq), matching the old in-queue-order slice scan.
 func (c *Controller) frFCFS(q *reqQueue) int32 {
 	// Oldest overall, in enqueue order with a strict < so the earliest
-	// enqueued wins among equal arrivals. This doubles as pass 2.
-	oldest := nilSlot
-	for i := q.head; i != nilSlot; i = q.slots[i].next {
-		if oldest == nilSlot || q.slots[i].req.Arrival < q.slots[oldest].req.Arrival {
-			oldest = i
+	// enqueued wins among equal arrivals. This doubles as pass 2. While
+	// the queue's pushes have stayed arrival-sorted (the engine's clock is
+	// monotone, so in practice always), the head is that pick by
+	// construction and the scan is skipped.
+	oldest := q.head
+	if !q.sorted {
+		for i := q.slots[oldest].next; i != nilSlot; i = q.slots[i].next {
+			if q.slots[i].req.Arrival < q.slots[oldest].req.Arrival {
+				oldest = i
+			}
 		}
 	}
 	// Starvation guard: an over-aged oldest read preempts the hit scan.
@@ -402,28 +442,39 @@ func (c *Controller) frFCFS(q *reqQueue) int32 {
 		c.Stats.StarvationBreaks++
 		return oldest
 	}
-	// Pass 1: arrived row hits, oldest first, via the per-bank index.
+	// Pass 1: arrived row hits, oldest first, via the occupied-bank index.
+	// The pick is the minimum of a strict (Arrival, seq) total order over
+	// the hit candidates, so the walk order cannot change it. While the
+	// queue is arrival-sorted each bank list is too (it is a subsequence
+	// of the pushes), so the first arrived row match is that bank's
+	// minimum and the first not-yet-arrived entry ends the bank's
+	// candidates — both exits cut the scan short.
 	best := nilSlot
-	for bank, h := range q.bankHead {
-		if h == nilSlot {
-			continue
-		}
-		row, open := c.dev.OpenRowAt(bank)
+	for _, bank := range q.occBanks {
+		h := q.bankHead[bank]
+		row, open := c.dev.OpenRowAt(int(bank))
 		if !open {
 			continue
 		}
 		for i := h; i != nilSlot; i = q.slots[i].bankNext {
 			e := &q.slots[i]
-			if e.req.Arrival > c.now || e.co.Row != row {
+			if e.req.Arrival > c.now {
+				if q.sorted {
+					break
+				}
+				continue
+			}
+			if e.co.Row != row {
 				continue
 			}
 			if best == nilSlot {
 				best = i
-				continue
-			}
-			if b := &q.slots[best]; e.req.Arrival < b.req.Arrival ||
+			} else if b := &q.slots[best]; e.req.Arrival < b.req.Arrival ||
 				(e.req.Arrival == b.req.Arrival && e.seq < b.seq) {
 				best = i
+			}
+			if q.sorted {
+				break
 			}
 		}
 	}
@@ -484,6 +535,11 @@ func (c *Controller) anyArrivedWantsRow(bank int32, row int, skipQ *reqQueue, sk
 			}
 			e := &q.slots[i]
 			if e.req.Arrival > c.now {
+				if q.sorted {
+					// Bank lists are arrival-sorted while the queue is:
+					// nothing later in the list has arrived either.
+					break
+				}
 				continue
 			}
 			if e.co.Row == row {

@@ -86,6 +86,12 @@ func randomStream(rng *rand.Rand, m *AddrMap, devCfg dram.Config, n int) []Reque
 			arrival += dram.Cycle(devCfg.Timing.TREFI) + dram.Cycle(rng.Intn(500))
 		case 1: // long idle gap (drains both queues between bursts)
 			arrival += dram.Cycle(1000 + rng.Intn(4000))
+		case 2, 3: // out-of-order delivery: step the clock backwards so the
+			// queues lose arrival-sortedness and the scheduler's O(n)
+			// fallback scans run instead of its sorted fast paths
+			if arrival > 60 {
+				arrival -= dram.Cycle(rng.Intn(60))
+			}
 		default:
 			arrival += dram.Cycle(rng.Intn(25))
 		}

@@ -1,5 +1,7 @@
 package mc
 
+import "sam/internal/dram"
+
 // This file holds the controller's scheduling data structure: a
 // fixed-capacity pool of value-typed queue entries threaded by two
 // intrusive doubly-linked lists — arrival (enqueue) order for the FR-FCFS
@@ -35,10 +37,24 @@ type entry struct {
 type reqQueue struct {
 	slots    []entry
 	bankHead []int32 // per flat bank index, head of the pending list
+	bankTail []int32 // per flat bank index, tail (newest-enqueued entry)
 	free     int32   // freelist threaded through entry.next
 	head     int32   // oldest-enqueued live entry
 	tail     int32   // newest-enqueued live entry
 	n        int     // live entries
+	// sorted tracks whether every push since the queue was last empty had
+	// a nondecreasing Arrival. While it holds (always, for the engine's
+	// monotone compute clock), the head IS the FR-FCFS "oldest arrived,
+	// earliest enqueued" pick and the O(n) aging scan is skipped.
+	sorted      bool
+	lastArrival dram.Cycle
+	// Occupied-bank index: occBanks lists the banks with a nonempty
+	// pending list (unordered, swap-removed), bankPos is each bank's
+	// position in it (-1 when empty). The FR-FCFS hit scan walks occBanks
+	// instead of every flat bank index; its pick is order-independent (a
+	// strict (Arrival, seq) total order), so the walk order doesn't matter.
+	occBanks []int32
+	bankPos  []int32
 }
 
 // newReqQueue builds a queue for `capacity` requests over `banks` flat
@@ -50,6 +66,10 @@ func newReqQueue(capacity, banks int) reqQueue {
 		bankHead: make([]int32, banks),
 		head:     nilSlot,
 		tail:     nilSlot,
+		sorted:   true,
+		occBanks: make([]int32, 0, banks),
+		bankPos:  make([]int32, banks),
+		bankTail: make([]int32, banks),
 	}
 	for i := range q.slots {
 		q.slots[i].next = int32(i) + 1
@@ -57,22 +77,30 @@ func newReqQueue(capacity, banks int) reqQueue {
 	q.slots[capacity-1].next = nilSlot
 	for b := range q.bankHead {
 		q.bankHead[b] = nilSlot
+		q.bankTail[b] = nilSlot
+		q.bankPos[b] = nilSlot
 	}
 	return q
 }
 
 // push appends a decoded request at the queue tail and indexes it under
-// its bank. Callers must respect capacity (Controller.CanAccept).
+// its bank (at the bank list's tail, so bank lists share the queue's
+// enqueue — and, while sorted, arrival — order). Callers must respect
+// capacity (Controller.CanAccept).
 func (q *reqQueue) push(req Request, co Coord, bank int32, seq uint64) {
 	i := q.free
 	if i == nilSlot {
 		panic("mc: reqQueue overflow")
 	}
 	q.free = q.slots[i].next
+	if q.n > 0 && req.Arrival < q.lastArrival {
+		q.sorted = false
+	}
+	q.lastArrival = req.Arrival
 	q.slots[i] = entry{
 		req: req, co: co, bank: bank, seq: seq,
 		prev: q.tail, next: nilSlot,
-		bankPrev: nilSlot, bankNext: q.bankHead[bank],
+		bankPrev: q.bankTail[bank], bankNext: nilSlot,
 	}
 	if q.tail != nilSlot {
 		q.slots[q.tail].next = i
@@ -80,10 +108,14 @@ func (q *reqQueue) push(req Request, co Coord, bank int32, seq uint64) {
 		q.head = i
 	}
 	q.tail = i
-	if nx := q.slots[i].bankNext; nx != nilSlot {
-		q.slots[nx].bankPrev = i
+	if pv := q.slots[i].bankPrev; pv != nilSlot {
+		q.slots[pv].bankNext = i
+	} else {
+		q.bankHead[bank] = i
+		q.bankPos[bank] = int32(len(q.occBanks))
+		q.occBanks = append(q.occBanks, bank)
 	}
-	q.bankHead[bank] = i
+	q.bankTail[bank] = i
 	q.n++
 }
 
@@ -104,11 +136,26 @@ func (q *reqQueue) remove(i int32) {
 		q.slots[e.bankPrev].bankNext = e.bankNext
 	} else {
 		q.bankHead[e.bank] = e.bankNext
+		if e.bankNext == nilSlot {
+			// Bank emptied: swap-remove it from the occupied list.
+			pos := q.bankPos[e.bank]
+			last := int32(len(q.occBanks) - 1)
+			moved := q.occBanks[last]
+			q.occBanks[pos] = moved
+			q.bankPos[moved] = pos
+			q.occBanks = q.occBanks[:last]
+			q.bankPos[e.bank] = nilSlot
+		}
 	}
 	if e.bankNext != nilSlot {
 		q.slots[e.bankNext].bankPrev = e.bankPrev
+	} else {
+		q.bankTail[e.bank] = e.bankPrev
 	}
 	e.next = q.free
 	q.free = i
 	q.n--
+	if q.n == 0 {
+		q.sorted = true
+	}
 }

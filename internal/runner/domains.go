@@ -1,0 +1,148 @@
+package runner
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// Domains is a reusable pool of worker goroutines for ordered work lanes —
+// the execution substrate behind the simulator's per-channel event domains.
+// Each lane (one per channel) is statically assigned to one worker
+// (lane % workers), and every worker consumes its queue FIFO, which yields
+// the two guarantees the sharded run engine needs:
+//
+//   - Per-lane order: items submitted to a lane run in submission order,
+//     because a lane's items all land on one worker's FIFO queue.
+//   - Cross-lane parallelism: different lanes on different workers run
+//     concurrently.
+//
+// Submit is asynchronous with bounded queues (back-pressure blocks the
+// producer, keeping staged work in flight bounded), so the producer
+// overlaps its own work — staging the next epoch — with lane execution.
+// Barrier flushes every queue and establishes a happens-before edge between
+// all completed items and the caller, making lane-owned state safe to read
+// until the next Submit.
+//
+// A panicking item does not kill its worker: the first panic is captured
+// (with its stack), subsequent items are drained without running, and the
+// panic is re-raised on the caller's goroutine at the next Barrier or
+// Close — the same containment contract as Map, adapted to an asynchronous
+// pool.
+type Domains struct {
+	workers []domainWorker
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	panicked error
+}
+
+// domainQueueDepth bounds each worker's pending-item queue. Deep enough to
+// keep a worker busy while the producer stages the next batch; shallow
+// enough that a stalled worker quickly back-pressures the producer instead
+// of accumulating unbounded staged state.
+const domainQueueDepth = 4
+
+type domainWorker struct {
+	in chan domainItem
+}
+
+type domainItem struct {
+	fn   func()
+	sync *sync.WaitGroup // barrier token: Done and skip fn (fn is nil)
+}
+
+// NewDomains starts a pool serving lanes lanes with at most workers worker
+// goroutines (workers <= 0 selects one per lane; workers is clamped to
+// lanes). The pool must be Closed to release the goroutines.
+func NewDomains(lanes, workers int) *Domains {
+	if lanes < 1 {
+		lanes = 1
+	}
+	if workers <= 0 || workers > lanes {
+		workers = lanes
+	}
+	d := &Domains{workers: make([]domainWorker, workers)}
+	for w := range d.workers {
+		d.workers[w].in = make(chan domainItem, domainQueueDepth)
+		d.wg.Add(1)
+		go d.serve(d.workers[w].in)
+	}
+	return d
+}
+
+// Workers returns the number of worker goroutines serving the lanes.
+func (d *Domains) Workers() int { return len(d.workers) }
+
+// serve is one worker's loop.
+func (d *Domains) serve(in chan domainItem) {
+	defer d.wg.Done()
+	for item := range in {
+		if item.sync != nil {
+			item.sync.Done()
+			continue
+		}
+		d.mu.Lock()
+		dead := d.panicked != nil
+		d.mu.Unlock()
+		if dead {
+			continue // drain without running; Barrier will re-raise
+		}
+		d.run(item.fn)
+	}
+}
+
+// run executes one item, capturing the first panic.
+func (d *Domains) run(fn func()) {
+	defer func() {
+		if p := recover(); p != nil {
+			d.mu.Lock()
+			if d.panicked == nil {
+				d.panicked = fmt.Errorf("runner: domain item panicked: %v\n%s", p, debug.Stack())
+			}
+			d.mu.Unlock()
+		}
+	}()
+	fn()
+}
+
+// Submit queues fn on lane's worker. It blocks only when that worker's
+// queue is full (back-pressure). fn runs after every previously submitted
+// item of every lane sharing the worker, and in particular after every
+// earlier item of the same lane.
+func (d *Domains) Submit(lane int, fn func()) {
+	d.workers[lane%len(d.workers)].in <- domainItem{fn: fn}
+}
+
+// Barrier blocks until every item submitted before the call has completed,
+// then re-raises the first captured item panic, if any. On return (without
+// panic) the caller may freely read state owned by any lane.
+func (d *Domains) Barrier() {
+	var token sync.WaitGroup
+	token.Add(len(d.workers))
+	for w := range d.workers {
+		d.workers[w].in <- domainItem{sync: &token}
+	}
+	token.Wait()
+	d.mu.Lock()
+	p := d.panicked
+	d.mu.Unlock()
+	if p != nil {
+		panic(p)
+	}
+}
+
+// Close drains every queue, stops the workers, and re-raises any captured
+// panic. The pool must not be used after Close.
+func (d *Domains) Close() {
+	for w := range d.workers {
+		close(d.workers[w].in)
+	}
+	d.wg.Wait()
+	d.mu.Lock()
+	p := d.panicked
+	d.mu.Unlock()
+	if p != nil {
+		panic(p)
+	}
+}

@@ -1,0 +1,73 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDomainsPerLaneOrderAcrossBarriers(t *testing.T) {
+	const lanes, items = 5, 200
+	d := NewDomains(lanes, 2)
+	var got [lanes][]int
+	for i := 0; i < items; i++ {
+		for lane := 0; lane < lanes; lane++ {
+			lane, i := lane, i
+			d.Submit(lane, func() { got[lane] = append(got[lane], i) })
+		}
+		if i == items/2 {
+			// A mid-stream barrier must not disturb per-lane FIFO order,
+			// and the pool must stay usable after it.
+			d.Barrier()
+		}
+	}
+	d.Close()
+	for lane := 0; lane < lanes; lane++ {
+		if len(got[lane]) != items {
+			t.Fatalf("lane %d ran %d items, want %d", lane, len(got[lane]), items)
+		}
+		for i, v := range got[lane] {
+			if v != i {
+				t.Fatalf("lane %d item %d ran out of order (got submission %d)", lane, i, v)
+			}
+		}
+	}
+}
+
+func TestDomainsLanesRunConcurrently(t *testing.T) {
+	// Two lanes on two workers rendezvous with each other: if the pool
+	// serialized lanes, this would deadlock (and the test would time out).
+	d := NewDomains(2, 2)
+	defer d.Close()
+	a, b := make(chan struct{}), make(chan struct{})
+	d.Submit(0, func() { close(a); <-b })
+	d.Submit(1, func() { <-a; close(b) })
+	d.Barrier()
+}
+
+func TestDomainsWorkerClamp(t *testing.T) {
+	auto := NewDomains(4, 0)
+	if got := auto.Workers(); got != 4 {
+		t.Fatalf("auto workers = %d, want one per lane", got)
+	}
+	auto.Close()
+	clamped := NewDomains(2, 8)
+	if got := clamped.Workers(); got != 2 {
+		t.Fatalf("workers = %d, want clamped to lane count", got)
+	}
+	clamped.Close()
+}
+
+func TestDomainsPanicPropagatesAtBarrier(t *testing.T) {
+	d := NewDomains(3, 3)
+	d.Submit(0, func() { panic("boom") })
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("Barrier did not re-raise the item panic")
+		}
+		if err, ok := p.(error); !ok || !strings.Contains(err.Error(), "boom") {
+			t.Fatalf("re-raised panic lost the cause: %v", p)
+		}
+	}()
+	d.Barrier()
+}

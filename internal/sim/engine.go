@@ -46,6 +46,11 @@ type engine struct {
 	// (and mc.Metrics) is attached per run, so histograms need no baseline
 	// subtraction — they are exactly this run's observations.
 	reg *stats.Registry
+	// chanRegs holds the per-channel registries of a sharded run (each
+	// domain observes into its own instruments; finish merges them — the
+	// merge is commutative, so the result is bit-identical to the serial
+	// engine's shared instruments). Nil on the serial path.
+	chanRegs []*stats.Registry
 
 	strideFetches uint64 // for the embedded-ECC read period
 	regularFills  uint64 // for embedded-ECC overhead on regular fills
@@ -53,6 +58,10 @@ type engine struct {
 	// injectors holds the per-channel fault injectors of this run (nil
 	// entries never occur; the slice is nil when injection is off).
 	injectors []*fault.Injector
+
+	// shard, when non-nil, runs this run's channels as parallel event
+	// domains (see shard.go); the serial service loop is bypassed.
+	shard *shardState
 }
 
 // channelFaultSeed derives channel ch's injector seed so every channel draws
@@ -69,7 +78,18 @@ func newEngine(s *System) *engine {
 	// stay warm across runs. Clearing stale probes keeps a later clean run
 	// on the same warm system genuinely fault-free (and allocation-free).
 	inject := s.Faults != nil && s.Faults.Active()
+	// The retry budget is controller state SetMaxRetries mutates in place,
+	// so it is re-applied on every run: a fault run always gets the model's
+	// configured budget — including 0, which means poison on the first DUE —
+	// and a fault-free run restores the default. Applying only positive
+	// budgets used to let a previous run's budget leak into later campaign
+	// points on a warm system.
+	retries := mc.DefaultConfig().MaxRetries
+	if inject {
+		retries = s.Faults.MaxRetries
+	}
 	for ch := 0; ch < s.Channels(); ch++ {
+		s.controllers[ch].SetMaxRetries(retries)
 		if !inject {
 			s.devices[ch].Probe = nil
 			continue
@@ -86,15 +106,29 @@ func newEngine(s *System) *engine {
 		in := s.runInjectors[ch]
 		s.devices[ch].Probe = in
 		e.injectors = s.runInjectors
-		if s.Faults.MaxRetries > 0 {
-			s.controllers[ch].SetMaxRetries(s.Faults.MaxRetries)
-		}
 	}
 	e.reg = stats.NewRegistry()
-	// All channels share one instrument set: the engine services channels
-	// from a single goroutine, and a cross-channel latency distribution is
-	// what the run-level histograms mean.
-	m := mc.NewMetrics(e.reg)
+	if w := s.shardWorkerPlan(); w > 0 {
+		e.shard = newShardState(s, w)
+	}
+	if e.shard != nil {
+		// Each event domain observes into its own registry so lane workers
+		// never share instruments; finish merges them in channel order.
+		e.chanRegs = make([]*stats.Registry, 0, s.Channels())
+		for ch := 0; ch < s.Channels(); ch++ {
+			reg := stats.NewRegistry()
+			e.chanRegs = append(e.chanRegs, reg)
+			s.controllers[ch].Metrics = mc.NewMetrics(reg)
+		}
+	} else {
+		// All channels share one instrument set: the serial engine services
+		// channels from a single goroutine, and a cross-channel latency
+		// distribution is what the run-level histograms mean.
+		m := mc.NewMetrics(e.reg)
+		for ch := 0; ch < s.Channels(); ch++ {
+			s.controllers[ch].Metrics = m
+		}
+	}
 	if cap(s.devBase) < s.Channels() {
 		s.devBase = make([]dram.DeviceStats, s.Channels())
 		s.ctlBase = make([]mc.Stats, s.Channels())
@@ -110,7 +144,6 @@ func newEngine(s *System) *engine {
 		// baseline would track the live stats and zero every delta.
 		s.devices[ch].Stats.CloneInto(&e.devBase[ch])
 		e.ctlBase[ch] = cs
-		s.controllers[ch].Metrics = m
 	}
 	return e
 }
@@ -164,24 +197,33 @@ func (e *engine) noteTime(at dram.Cycle) {
 
 // recordSample snapshots the run-relative cumulative statistics (summed
 // across channels) at boundary at. Queue depth and inflight are the levels
-// at record time — sampled, like any profiler counter.
+// at record time — sampled, like any profiler counter. The cross-channel
+// delta accumulates on the system's scratch DeviceStats (AddSub applies
+// per-bank deltas in place), so each sample clones one bank slice into the
+// series instead of one per channel.
 func (e *engine) recordSample(at int64) {
-	var dev dram.DeviceStats
+	dev := &e.sys.sampleScratch
+	*dev = dram.DeviceStats{PerBank: dev.PerBank[:0]}
 	var ctl mc.Stats
 	queue := 0
 	for ch := 0; ch < e.sys.Channels(); ch++ {
-		dev.Add(e.sys.devices[ch].Stats.Sub(e.devBase[ch]))
+		dev.AddSub(e.sys.devices[ch].Stats, e.devBase[ch])
 		ctl.Add(e.sys.controllers[ch].Stats.Sub(e.ctlBase[ch]))
 		queue += e.sys.controllers[ch].Pending()
 	}
 	e.sys.Sampler.Record(etrace.Sample{
-		At: at, Ctl: ctl, Dev: dev, Queue: queue, Inflight: e.inflight,
+		At: at, Ctl: ctl, Dev: dev.Clone(), Queue: queue, Inflight: e.inflight,
 	})
 }
 
 // enqueue pushes one request to its channel, applying window and queue
-// back-pressure.
+// back-pressure. Sharded runs stage the same sequence instead of executing
+// it inline (see shard.go).
 func (e *engine) enqueue(r mc.Request) {
+	if e.shard != nil {
+		e.shard.enqueue(e, r)
+		return
+	}
 	ctrl := e.sys.controllers[e.sys.channelOf(r.Addr)]
 	for !ctrl.CanAccept(r.IsWrite) {
 		if !e.serviceOne() {
@@ -304,7 +346,11 @@ func (e *engine) finish() RunStats {
 	for _, op := range e.sys.Hierarchy.FlushDirty() {
 		e.enqueue(e.memOpRequest(op, 0, e.sys.Design.Gran.Gang))
 	}
-	for e.serviceOne() {
+	if e.shard != nil {
+		e.shard.drain(e)
+	} else {
+		for e.serviceOne() {
+		}
 	}
 	end := e.t0 + e.clock
 	var dev dram.DeviceStats
@@ -348,7 +394,6 @@ func (e *engine) finish() RunStats {
 		Device:       dev,
 		Controller:   ctl,
 		BankActPreNJ: e.sys.Design.Power.PerBankActPre(dev.PerBankActs()),
-		Metrics:      e.reg.Snapshot(),
 	}
 	if hits, misses := ctl.RowHits, ctl.RowMisses+ctl.RowEmpties; hits+misses > 0 {
 		rs.RowHitRate = float64(hits) / float64(hits+misses)
@@ -361,9 +406,9 @@ func (e *engine) finish() RunStats {
 		rs.Reliability = rel
 		rs.CorrectedBursts = rel.CorrectedBursts
 		rs.UncorrectableBursts = rel.DUEs + rel.SilentCorruptions
-		// Mirror the block into the run's instrument registry so JSON
-		// exports and profiles carry the reliability outcome alongside the
-		// latency histograms. Per-chip attribution rides as a gauge series.
+		// Mirror the block into the run's instrument registry — before the
+		// single snapshot below — so JSON exports and profiles carry the
+		// reliability outcome alongside the latency histograms.
 		c := func(name string, v uint64) { e.reg.Counter("fault." + name).Add(v) }
 		c("bursts", rel.Bursts)
 		c("injected", rel.Injected)
@@ -378,7 +423,16 @@ func (e *engine) finish() RunStats {
 				e.reg.Counter(fmt.Sprintf("fault.chip_%02d", chip)).Add(n)
 			}
 		}
-		rs.Metrics = e.reg.Snapshot()
 	}
+	snap := e.reg.Snapshot()
+	// Sharded runs: fold each domain's instruments in channel order. The
+	// merge sums histogram buckets and counters, so the result is
+	// bit-identical to the serial engine's shared-instrument snapshot.
+	for _, reg := range e.chanRegs {
+		if err := snap.Merge(reg.Snapshot()); err != nil {
+			panic("sim: per-channel metrics merge: " + err.Error())
+		}
+	}
+	rs.Metrics = snap
 	return rs
 }

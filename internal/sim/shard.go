@@ -1,0 +1,329 @@
+package sim
+
+import (
+	"runtime"
+
+	"sam/internal/dram"
+	"sam/internal/mc"
+	"sam/internal/runner"
+	"sam/internal/trace"
+)
+
+// This file is the sharded run engine: each channel runs as its own event
+// domain — controller, device, fault injector, and etrace channel ring are
+// already per-channel state — replayed by worker goroutines from a
+// runner.Domains pool, while the workload goroutine keeps the compute
+// clock, request IDs, arrival stamping, and cache state.
+//
+// # Determinism contract
+//
+// The sharded engine produces bit-identical RunStats to the serial engine
+// for any worker count, by construction rather than by synchronization.
+// The key observation is that the serial engine's cross-channel coupling is
+// occupancy-only: which channel serviceOne picks depends on which
+// controllers have pending requests and the round-robin pointer; whether a
+// service retires a read or a write (which is what moves the inflight
+// window) is Config.PickKind over that channel's queue occupancies and
+// drain latch; and a request's Arrival/ID come from the compute clock,
+// which no completion ever feeds back into. Timing results (completion
+// cycles, row hits, retries) never influence the schedule.
+//
+// So the workload goroutine runs a count mirror — per-channel read/write
+// occupancies plus the drain latch, stepped by the same mc.Config.PickKind
+// the controller schedules by — and stages each channel's exact
+// enqueue/service sequence as ops. Lane workers replay a channel's ops in
+// order against the real controller; channels replay concurrently. Per
+// channel, the replayed call sequence is identical to the serial engine's,
+// so every per-channel artifact (controller/device stats, injector
+// counters, audit history, trace ring) is bit-identical, and the
+// cross-channel aggregations (Stats.Add, DeviceStats.Add, registry
+// merging, fault.Counters.Add) are order-fixed sums over channels.
+// Replay asserts each serviced completion's kind against the mirror's
+// prediction, so any drift panics instead of silently diverging.
+//
+// One subtlety: the serial engine probes empty controllers (ServiceOne →
+// pickQueue → nil), and those probes update the drain latch; replay skips
+// them. With WriteDrainLow >= 1 the probes are no-ops — the latch is
+// already clear whenever the write queue empties, because the service that
+// took the queue to WriteDrainLow ran pickQueue first — so skipping them is
+// exact. shardWorkerPlan therefore requires WriteDrainLow >= 1 and falls
+// back to the serial engine otherwise.
+//
+// # Epoch barriers and clock ownership
+//
+// Staging is pipelined: ops are dispatched in batches with bounded queues,
+// so replay overlaps the workload's compute side, and the run needs a full
+// barrier only where channels genuinely couple:
+//
+//   - sampler boundaries: the windowed sampler reads live controller state,
+//     so sampled runs barrier every shardSampleOps staged ops and advance
+//     the ratcheted sample clock to the domains' high-water completion;
+//   - finish(): one final barrier before aggregation, then the pool closes.
+//
+// The workload goroutine owns the compute clock (engine.clock) and the
+// sample clock; each domain owns its controller's timeline (Controller.now)
+// and its device clocks. No clock is shared across goroutines.
+const (
+	// shardBatchOps is the staged-op batch size handed to a lane worker per
+	// dispatch: large enough to amortize the channel handoff, small enough
+	// to keep lanes busy while the producer stages the next batch.
+	shardBatchOps = 512
+	// shardSampleOps bounds staged ops between epoch barriers when a
+	// windowed sampler is attached, pacing how often the sampler can
+	// observe live controller state.
+	shardSampleOps = 4096
+)
+
+// shardOp is one staged operation of a channel's replay sequence: an
+// enqueue carrying the fully-formed request, or a service of the channel's
+// next scheduler pick with the mirror's predicted kind.
+type shardOp struct {
+	req     mc.Request
+	service bool
+	isWrite bool // service ops: the kind the mirror predicted
+}
+
+// shardDomain is one channel's event domain: the real controller the lane
+// worker replays into, the occupancy mirror the producer schedules by, and
+// the staging batch in flight between them.
+type shardDomain struct {
+	ctrl *mc.Controller
+	cfg  mc.Config
+
+	// Occupancy mirror (producer-owned).
+	readN, writeN int
+	draining      bool
+
+	// Staging (producer-owned batch; free recycles consumed batches from
+	// the lane worker, non-blocking on both sides).
+	batch []shardOp
+	free  chan []shardOp
+
+	// maxEnd is the channel's high-water completion cycle (lane-owned
+	// between barriers, producer-readable after one).
+	maxEnd dram.Cycle
+}
+
+// shardState drives one sharded run.
+type shardState struct {
+	pool      *runner.Domains
+	doms      []shardDomain
+	sinceSync int // staged ops since the last barrier (sampler pacing)
+}
+
+// shardWorkerPlan resolves System.ShardWorkers into an effective worker
+// count for this run: 0 means run the serial engine. The default (auto)
+// shards multi-channel systems across min(Channels, GOMAXPROCS) workers;
+// 1 forces serial; >= 2 forces sharding with at most that many workers
+// (clamped to the channel count, which bounds useful parallelism).
+func (s *System) shardWorkerPlan() int {
+	w := s.ShardWorkers
+	if w == 1 {
+		return 0
+	}
+	n := s.Channels()
+	if w <= 0 {
+		if n < 2 {
+			return 0
+		}
+		w = runtime.GOMAXPROCS(0)
+		if w < 2 {
+			return 0
+		}
+	}
+	if w > n {
+		w = n
+	}
+	for _, c := range s.controllers {
+		// The empty-probe argument above needs WriteDrainLow >= 1, and the
+		// mirror starts from empty queues; fall back to serial if either
+		// precondition fails.
+		if c.Config().WriteDrainLow < 1 || c.Pending() != 0 {
+			return 0
+		}
+	}
+	return w
+}
+
+// newShardState builds the run's domains and starts its worker pool. The
+// pool is per-run (closed in finish), so systems never leak goroutines no
+// matter how many runs a sweep performs.
+func newShardState(s *System, workers int) *shardState {
+	n := s.Channels()
+	st := &shardState{
+		pool: runner.NewDomains(n, workers),
+		doms: make([]shardDomain, n),
+	}
+	for ch := 0; ch < n; ch++ {
+		d := &st.doms[ch]
+		d.ctrl = s.controllers[ch]
+		d.cfg = d.ctrl.Config()
+		d.batch = make([]shardOp, 0, shardBatchOps)
+		d.free = make(chan []shardOp, domainBatchRecycle)
+	}
+	return st
+}
+
+// domainBatchRecycle sizes each domain's batch free list: enough to hold
+// every batch that can be in flight to one worker, so steady state recycles
+// instead of allocating.
+const domainBatchRecycle = 8
+
+// canAccept mirrors Controller.CanAccept over the staged occupancies.
+func (d *shardDomain) canAccept(isWrite bool) bool {
+	if isWrite {
+		return d.writeN < d.cfg.WriteQueueCap
+	}
+	return d.readN < d.cfg.ReadQueueCap
+}
+
+// enqueue is the sharded engine.enqueue: identical back-pressure and
+// arrival stamping, with the controller calls staged instead of executed.
+func (st *shardState) enqueue(e *engine, r mc.Request) {
+	ch := e.sys.channelOf(r.Addr)
+	d := &st.doms[ch]
+	for !d.canAccept(r.IsWrite) {
+		if !st.stageService(e) {
+			panic("sim: controller full but idle")
+		}
+	}
+	if !r.IsWrite {
+		for e.inflight >= e.sys.CPU.WindowSize() {
+			if !st.stageService(e) {
+				panic("sim: window full but controller idle")
+			}
+		}
+		e.inflight++
+	}
+	r.ID = e.nextID
+	e.nextID++
+	r.Arrival = e.t0 + e.clock
+	if e.sys.TraceSink != nil {
+		e.sys.TraceSink.Add(trace.FromRequest(r))
+	}
+	if r.IsWrite {
+		d.writeN++
+	} else {
+		d.readN++
+	}
+	st.push(e, ch, shardOp{req: r})
+}
+
+// stageService mirrors engine.serviceOne: round-robin over the channels,
+// stepping each probed channel's drain latch exactly as the controller's
+// pickQueue would, and staging a service op on the first channel with
+// pending work. Returns false when every mirror is empty.
+func (st *shardState) stageService(e *engine) bool {
+	n := len(st.doms)
+	for i := 0; i < n; i++ {
+		ch := (e.nextChan + i) % n
+		d := &st.doms[ch]
+		isWrite, _, draining, ok := d.cfg.PickKind(d.readN, d.writeN, d.draining)
+		d.draining = draining
+		if !ok {
+			continue
+		}
+		e.nextChan = (e.nextChan + i + 1) % n
+		if isWrite {
+			d.writeN--
+		} else {
+			d.readN--
+			e.inflight--
+		}
+		st.push(e, ch, shardOp{service: true, isWrite: isWrite})
+		return true
+	}
+	return false
+}
+
+// push stages one op on channel ch, dispatching the batch when full and
+// barriering for the sampler when due.
+func (st *shardState) push(e *engine, ch int, op shardOp) {
+	d := &st.doms[ch]
+	d.batch = append(d.batch, op)
+	if len(d.batch) >= shardBatchOps {
+		st.flush(ch)
+	}
+	if e.sys.Sampler != nil {
+		st.sinceSync++
+		if st.sinceSync >= shardSampleOps {
+			st.barrier(e)
+		}
+	}
+}
+
+// flush dispatches channel ch's staged batch to its lane worker.
+func (st *shardState) flush(ch int) {
+	d := &st.doms[ch]
+	if len(d.batch) == 0 {
+		return
+	}
+	batch := d.batch
+	st.pool.Submit(ch, func() { d.replay(batch) })
+	select {
+	case recycled := <-d.free:
+		d.batch = recycled[:0]
+	default:
+		d.batch = make([]shardOp, 0, shardBatchOps)
+	}
+}
+
+// replay executes one staged batch against the real controller (on the
+// channel's lane worker). Any divergence between the mirror's predicted
+// schedule and the controller's actual pick is a bug in the determinism
+// argument, and panics rather than silently corrupting the run.
+func (d *shardDomain) replay(ops []shardOp) {
+	for i := range ops {
+		op := &ops[i]
+		if !op.service {
+			d.ctrl.Enqueue(op.req)
+			continue
+		}
+		comp, ok := d.ctrl.ServiceOne()
+		if !ok {
+			panic("sim: staged service found the controller idle (occupancy mirror drift)")
+		}
+		if comp.Req.IsWrite != op.isWrite {
+			panic("sim: staged service kind diverged from the scheduler (occupancy mirror drift)")
+		}
+		if comp.DataEnd > d.maxEnd {
+			d.maxEnd = comp.DataEnd
+		}
+	}
+	select {
+	case d.free <- ops[:0]:
+	default:
+	}
+}
+
+// barrier flushes every domain's staged ops and waits for the lanes to
+// quiesce; afterwards the producer may read live controller/device state.
+// On sampled runs it then ratchets the sample clock to the domains'
+// high-water completion, recording any crossed window boundaries.
+func (st *shardState) barrier(e *engine) {
+	for ch := range st.doms {
+		st.flush(ch)
+	}
+	st.pool.Barrier()
+	st.sinceSync = 0
+	if e.sys.Sampler != nil {
+		var hi dram.Cycle
+		for i := range st.doms {
+			if st.doms[i].maxEnd > hi {
+				hi = st.doms[i].maxEnd
+			}
+		}
+		if hi > 0 {
+			e.noteTime(hi)
+		}
+	}
+}
+
+// drain stages services until every mirror is empty, runs the final
+// barrier, and shuts the pool down — the sharded half of engine.finish.
+func (st *shardState) drain(e *engine) {
+	for st.stageService(e) {
+	}
+	st.barrier(e)
+	st.pool.Close()
+}

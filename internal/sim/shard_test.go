@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"sam/internal/design"
+	"sam/internal/etrace"
+	"sam/internal/fault"
+	"sam/internal/imdb"
+	"sam/internal/mc"
+	"sam/internal/sql"
+)
+
+// shardDiffFaults is a two-chip persistent map plus a transient rate on an
+// SSC-DSD layout: dead chip + stuck DQ exceed the codec's correction
+// radius, so the run exercises the full DUE -> retry -> poison path, the
+// most state-dependent behaviour the differential can pin.
+func shardDiffFaults() *FaultModel {
+	return &FaultModel{
+		Seed:       0xD1FF5EED,
+		Rate:       1e-3,
+		DeadChips:  []fault.ChipFault{{Rank: -1, Chip: 2}},
+		StuckDQs:   []fault.StuckDQ{{Rank: -1, Chip: 5, DQ: 1, Value: 1}},
+		MaxRetries: 1,
+	}
+}
+
+// shardDiffRun builds a fully instrumented system — audit, fault
+// injection, event tracing — runs a strided scan plus an update on it
+// warm, and returns the per-query results, the system, and the trace
+// buffer for comparison.
+func shardDiffRun(t *testing.T, channels, workers int) ([]*QueryResult, *System, *etrace.Buffer) {
+	t.Helper()
+	d := design.New(design.SAMEn, design.Options{Gran: design.Gran4})
+	d.Mem.Geometry.Channels = channels
+	s := NewSystem(d)
+	s.Audit = true
+	s.reset()
+	s.ShardWorkers = workers
+	s.Faults = shardDiffFaults()
+	buf := etrace.NewBuffer(0)
+	s.AttachEventTrace(buf, nil)
+	s.AddTable(imdb.NewTable(imdb.Ta(1024), 0xABCD), false)
+	s.AddTable(imdb.NewTable(imdb.Tb(256), 0xABCE), false)
+	var out []*QueryResult
+	for _, q := range []struct {
+		query  string
+		params sql.Params
+	}{
+		{"SELECT SUM(f9) FROM Ta WHERE f10 > x", sel25()},
+		{"UPDATE Tb SET f3 = x WHERE f10 = y", sql.Params{"x": 5, "y": 3}},
+	} {
+		r, err := s.RunQuery(q.query, q.params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, r)
+	}
+	if !s.AuditOK() {
+		t.Fatalf("ch=%d workers=%d: protocol violations", channels, workers)
+	}
+	return out, s, buf
+}
+
+// TestShardedEngineDifferential is the sharded analogue of the scheduler's
+// TestSchedulerDifferential: the serial engine (ShardWorkers=1, the
+// unmodified pre-sharding service loop) is the frozen oracle, and the
+// sharded engine must match it bit for bit — RunStats including the
+// Metrics snapshot and Reliability counters, functional query results, the
+// per-channel audited command streams, and the event-trace rings — for
+// every worker count and channel count, with faults and tracing enabled.
+func TestShardedEngineDifferential(t *testing.T) {
+	for _, channels := range []int{1, 2, 4} {
+		ref, refSys, refBuf := shardDiffRun(t, channels, 1)
+		// The oracle must exercise the paths being differenced.
+		if rs := ref[0].Stats; rs.Reliability == nil || rs.Reliability.DUEs == 0 ||
+			rs.Controller.Retries == 0 || rs.Controller.Poisoned == 0 {
+			t.Fatalf("ch=%d: reference run has no DUE/retry/poison traffic: %+v",
+				channels, ref[0].Stats.Reliability)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			got, gotSys, gotBuf := shardDiffRun(t, channels, workers)
+			for i := range ref {
+				if !reflect.DeepEqual(ref[i], got[i]) {
+					t.Errorf("ch=%d workers=%d query %d: results diverge from serial\nserial: %+v\nsharded: %+v",
+						channels, workers, i, ref[i].Stats, got[i].Stats)
+				}
+			}
+			for ch := 0; ch < channels; ch++ {
+				refH := refSys.ChannelController(ch).Audit.History()
+				gotH := gotSys.ChannelController(ch).Audit.History()
+				if !reflect.DeepEqual(refH, gotH) {
+					t.Errorf("ch=%d workers=%d: channel %d audited command stream diverges (%d vs %d commands)",
+						channels, workers, ch, len(refH), len(gotH))
+				}
+			}
+			if !reflect.DeepEqual(refBuf.Events(), gotBuf.Events()) {
+				t.Errorf("ch=%d workers=%d: event-trace streams diverge (%d vs %d events)",
+					channels, workers, refBuf.Len(), gotBuf.Len())
+			}
+		}
+	}
+}
+
+// TestShardedSamplerReconciles pins the sampler contract under sharding:
+// observation points move to epoch barriers (the ratcheted high-water
+// completion clock), but the series stays strictly increasing and its
+// final cumulative totals still equal the RunStats exactly.
+func TestShardedSamplerReconciles(t *testing.T) {
+	d := design.New(design.Baseline, design.Options{})
+	d.Mem.Geometry.Channels = 4
+	s := NewSystem(d)
+	s.ShardWorkers = 4
+	sp := etrace.NewSampler(256)
+	s.AttachEventTrace(etrace.NewBuffer(0), sp)
+	s.AddTable(imdb.NewTable(imdb.Ta(2048), 0xC0DE), false)
+	r, err := s.RunQuery("SELECT SUM(f9) FROM Ta WHERE f10 > x", sel25())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := r.Stats
+	if len(sp.Samples) < 2 {
+		t.Fatalf("sampler recorded %d samples", len(sp.Samples))
+	}
+	for i := 1; i < len(sp.Samples); i++ {
+		if sp.Samples[i].At <= sp.Samples[i-1].At {
+			t.Fatalf("sample times not strictly increasing at %d: %d then %d",
+				i, sp.Samples[i-1].At, sp.Samples[i].At)
+		}
+	}
+	last := sp.Samples[len(sp.Samples)-1]
+	if last.At > int64(rs.Cycles) {
+		t.Fatalf("last sample at %d beyond run end %d", last.At, rs.Cycles)
+	}
+	if last.Ctl != rs.Controller {
+		t.Fatalf("final sample controller totals diverge from RunStats:\n%+v\n%+v", last.Ctl, rs.Controller)
+	}
+	if last.Dev.Acts != rs.Device.Acts || last.Dev.Reads != rs.Device.Reads ||
+		last.Dev.Writes != rs.Device.Writes || last.Dev.Refs != rs.Device.Refs ||
+		last.Dev.BusBusyCycles != rs.Device.BusBusyCycles {
+		t.Fatalf("final sample device totals diverge from RunStats:\n%+v\n%+v", last.Dev, rs.Device)
+	}
+	if !reflect.DeepEqual(last.Dev.PerBank, rs.Device.PerBank) {
+		t.Fatal("final sample per-bank totals diverge from RunStats")
+	}
+}
+
+// TestWarmSystemRetryBudget is the regression test for the stale
+// retry-budget bug: SetMaxRetries mutates controller state in place, and
+// the engine used to apply it only for positive budgets — so running a
+// budget-5 campaign point and then a budget-0 point ("poison immediately
+// on the first DUE", per mc.Config) on the same warm system silently ran
+// the second point with a budget of 5.
+func TestWarmSystemRetryBudget(t *testing.T) {
+	d := design.New(design.SAMEn, design.Options{Gran: design.Gran4})
+	s := NewSystem(d)
+	s.AddTable(imdb.NewTable(imdb.Ta(1024), 0xBEEF), false)
+	s.AddTable(imdb.NewTable(imdb.Tb(1024), 0xBEF0), false)
+	// Each campaign point scans a table the warm caches have not seen, so
+	// every point drives real DRAM bursts through the injector.
+	run := func(fm *FaultModel, query string) RunStats {
+		s.Faults = fm
+		r, err := s.RunQuery(query, sel25())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Stats
+	}
+
+	budget5 := shardDiffFaults()
+	budget5.MaxRetries = 5
+	a := run(budget5, "SELECT SUM(f9) FROM Ta WHERE f10 > x")
+	if a.Reliability.DUEs == 0 || a.Controller.Retries == 0 {
+		t.Fatalf("budget-5 run produced no DUE/retry traffic (DUEs=%d retries=%d): fault model too weak for the regression",
+			a.Reliability.DUEs, a.Controller.Retries)
+	}
+
+	budget0 := shardDiffFaults()
+	budget0.MaxRetries = 0
+	b := run(budget0, "SELECT SUM(f9) FROM Tb WHERE f10 > x")
+	if b.Reliability.DUEs == 0 {
+		t.Fatalf("budget-0 run produced no DUEs")
+	}
+	if b.Controller.Retries != 0 {
+		t.Fatalf("budget-0 warm run retried %d times: the previous run's budget leaked into it", b.Controller.Retries)
+	}
+	if b.Controller.Poisoned == 0 {
+		t.Fatal("budget-0 run poisoned nothing: first DUEs must poison immediately")
+	}
+
+	// A fault-free run restores the controller default, so later fault runs
+	// that rely on it start from a known budget.
+	s.Faults = nil
+	if _, err := s.RunQuery("SELECT SUM(f9) FROM Ta WHERE f10 > x", sel25()); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Controller.Config().MaxRetries, mc.DefaultConfig().MaxRetries; got != want {
+		t.Fatalf("fault-free run left retry budget %d, want default %d", got, want)
+	}
+}

@@ -55,6 +55,17 @@ type System struct {
 	// Audit enables end-to-end protocol checking (slow; tests only).
 	Audit bool
 
+	// ShardWorkers selects the run engine's execution mode: 0 (default)
+	// auto-shards multi-channel systems across min(Channels, GOMAXPROCS)
+	// per-channel event-domain workers and keeps single-channel systems
+	// serial; 1 forces the serial engine; >= 2 forces the sharded engine
+	// with at most that many workers (clamped to the channel count).
+	// Sharded runs produce bit-identical RunStats to serial runs for any
+	// worker count (see shard.go's determinism contract); only the windowed
+	// sampler's observation points differ (epoch barriers instead of every
+	// completion).
+	ShardWorkers int
+
 	// Faults, when set and active, routes every data-carrying DRAM burst of
 	// the run through the real chipkill codec with faults injected at the
 	// device's burst boundary: persistent per-rank fault maps (dead chips,
@@ -85,6 +96,10 @@ type System struct {
 	runInjectors []*fault.Injector
 	devBase      []dram.DeviceStats
 	ctlBase      []mc.Stats
+	// sampleScratch accumulates the cross-channel device delta for one
+	// windowed sample (engine.recordSample), reusing its per-bank backing
+	// across samples and runs.
+	sampleScratch dram.DeviceStats
 }
 
 // FaultModel configures fault injection; it is fault.Config verbatim (seed,

@@ -22,12 +22,15 @@ trap 'rm -f "$RAW"' EXIT
 go test -run '^$' -bench . -benchmem -benchtime "${MICRO_BENCHTIME:-1s}" \
     ./internal/mc ./internal/ecc ./internal/etrace | tee "$RAW"
 go test -run '^$' -bench . -benchmem -benchtime 1x . | tee -a "$RAW"
-# The serial-vs-parallel contrast is a ratio of two wall-clock times, and
-# at one iteration each the ratio is mostly noise (the 1x run above leaves
-# a large heap behind, too). Re-run the pair in a fresh process at a real
-# iteration count; the parser keeps the later, better-sampled entries.
-go test -run '^$' -bench 'Parallelism' -benchmem \
-    -benchtime "${PAR_BENCHTIME:-5x}" . | tee -a "$RAW"
+# The serial-vs-parallel contrast and the serial-vs-sharded engine
+# contrast are ratios of two wall-clock times, and at one iteration each
+# the ratio is mostly noise (the 1x run above leaves a large heap behind,
+# too). Re-run the pairs in a fresh process at a real iteration count; the
+# parser keeps the later, better-sampled entries. The multi-channel
+# scaling benchmark rides along: its ns/op is the headline the sharded
+# engine is measured against, so it also deserves real sampling.
+go test -run '^$' -bench 'Parallelism|MultiChannelSharded|ExtensionMultiChannel' \
+    -benchmem -benchtime "${PAR_BENCHTIME:-5x}" . | tee -a "$RAW"
 
 # go test bench lines are "BenchmarkName-P  iters  value unit  value unit ...";
 # fold the value/unit pairs into JSON keys (ns/op -> ns_per_op, custom
