@@ -9,6 +9,7 @@
 //	samfig -exp fig12 -ta 16384 -tb 131072
 //	samfig -exp fig15a -csv
 //	samfig -exp all -small -workers 8 -progress
+//	samfig -exp fig12 -cache-dir .samcache   # warm re-runs skip simulation
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"sam/internal/core"
 	"sam/internal/design"
 	"sam/internal/etrace"
+	"sam/internal/memo"
 	"sam/internal/prof"
 	"sam/internal/sim"
 	"sam/internal/stats"
@@ -58,6 +60,8 @@ func main() {
 	workers := flag.Int("workers", 0, "max parallel simulations per sweep (0 = GOMAXPROCS, 1 = serial)")
 	progress := flag.Bool("progress", false, "report per-sweep progress on stderr")
 	metricsDir := flag.String("metrics-dir", "", "dump per-figure run metrics as JSON files into this directory")
+	cacheDir := flag.String("cache-dir", "", "persist memoized run results in this directory (warm re-runs skip simulation)")
+	noCache := flag.Bool("no-cache", false, "disable run memoization entirely (overrides -cache-dir)")
 	relOut := flag.String("reliability-out", "", "write the reliability campaign summary as JSON to this file")
 	traceOut := flag.String("trace-out", "", "write a side-by-side Chrome/Perfetto event trace of -trace-design vs the baseline, then exit (skips -exp)")
 	traceBench := flag.String("trace-bench", "Q3", "benchmark query to trace with -trace-out")
@@ -104,6 +108,16 @@ func main() {
 		return
 	}
 
+	// One memo cache is shared across every figure and sweep of the
+	// invocation, so `-exp all` simulates each distinct (design, workload,
+	// query) cell once no matter how many figures evaluate it. Figures are
+	// byte-identical with the cache on or off; -no-cache recovers the
+	// run-everything behaviour, -cache-dir adds the persistent tier.
+	var cache *core.Memo
+	if !*noCache {
+		cache = core.NewMemo(core.MemoOptions{Dir: *cacheDir})
+	}
+
 	// collected gathers per-run metrics by figure ID, in emission order
 	// (the drivers call Par.Metrics from their deterministic aggregation
 	// loops, never from workers).
@@ -113,7 +127,7 @@ func main() {
 	// par builds the per-sweep parallelism config; the progress callback
 	// rewrites one stderr line per completed simulation of that sweep.
 	par := func(name string) core.Par {
-		p := core.Par{Workers: *workers}
+		p := core.Par{Workers: *workers, Memo: cache}
 		if *progress {
 			p.Progress = func(done, total int) {
 				fmt.Fprintf(os.Stderr, "\r%s: %d/%d runs", name, done, total)
@@ -328,6 +342,28 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "samfig: wrote %s (%d runs)\n", path, len(collected[figID].Entries))
 		}
+		// The memo instruments land in their own file, not the per-figure
+		// dumps — those stay byte-identical with the cache on or off.
+		if cache != nil {
+			dump := struct {
+				Schema   string          `json:"schema"`
+				Counters memo.Counters   `json:"counters"`
+				Stats    *stats.Snapshot `json:"stats"`
+			}{memo.SchemaVersion, cache.Counters(), cache.StatsSnapshot()}
+			enc, err := json.MarshalIndent(dump, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			enc = append(enc, '\n')
+			path := filepath.Join(*metricsDir, "memo.json")
+			if err := os.WriteFile(path, enc, 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "samfig: wrote %s\n", path)
+		}
+	}
+	if cache != nil {
+		fmt.Fprintf(os.Stderr, "samfig: memo: %v\n", cache.Counters())
 	}
 }
 

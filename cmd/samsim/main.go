@@ -29,6 +29,7 @@ import (
 	"sam/internal/runner"
 	"sam/internal/sim"
 	"sam/internal/sql"
+	"sam/internal/stats"
 	"sam/internal/trace"
 )
 
@@ -63,6 +64,8 @@ func main() {
 	traceWindow := flag.Int64("trace-window", 2048, "sampling window for the trace time series (bus cycles)")
 	traceLimit := flag.Int("trace-limit", etrace.DefaultCapacity, "event-ring capacity; oldest events drop beyond this")
 	statsJSON := flag.String("stats-json", "", "write the full run report as JSON to this file ('-' for stdout)")
+	cacheDir := flag.String("cache-dir", "", "persist memoized run results in this directory (warm re-runs skip simulation)")
+	noCache := flag.Bool("no-cache", false, "disable run memoization entirely (overrides -cache-dir)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -119,6 +122,21 @@ func main() {
 	faults, err := buildFaultModel(*faultChip, *faultRate, *faultSeed, *faultChips, *faultStuck, *faultRetries, w.Seed)
 	if err != nil {
 		fail(err)
+	}
+
+	// Runs without attached extras route through the memo cache; with
+	// -cache-dir a repeat of the same (design, workload, query) replays
+	// from disk instead of simulating. Hand-built systems (fault models,
+	// tracers, forced sharding) always execute for real.
+	var cache *core.Memo
+	if !*noCache {
+		cache = core.NewMemo(core.MemoOptions{Dir: *cacheDir})
+	}
+	runOne := func(k design.Kind, q core.BenchQuery) (*sim.QueryResult, error) {
+		if cache == nil {
+			return core.RunOne(k, design.Options{}, w, q)
+		}
+		return cache.RunOne(k, design.Options{}, w, q)
 	}
 
 	eventTracing := *eventOut != "" || *traceCSV != ""
@@ -184,7 +202,7 @@ func main() {
 		runs, rerr := runner.Map(ctx, []design.Kind{kind, design.Baseline},
 			runner.Options{Workers: *workers},
 			func(_ context.Context, _ int, k design.Kind) (*sim.QueryResult, error) {
-				r, err := core.RunOne(k, design.Options{}, w, bench)
+				r, err := runOne(k, bench)
 				if err != nil {
 					return nil, fmt.Errorf("%v: %w", k, err)
 				}
@@ -195,7 +213,7 @@ func main() {
 		}
 		res, base = runs[0], runs[1]
 	} else {
-		res, err = core.RunOne(kind, design.Options{}, w, bench)
+		res, err = runOne(kind, bench)
 		if err != nil {
 			fail(err)
 		}
@@ -203,7 +221,7 @@ func main() {
 	report(kind.String(), bench, res)
 	if *compare && kind != design.Baseline {
 		if base == nil { // fault/trace path: baseline still to run
-			base, err = core.RunOne(design.Baseline, design.Options{}, w, bench)
+			base, err = runOne(design.Baseline, bench)
 			if err != nil {
 				fail(err)
 			}
@@ -211,8 +229,15 @@ func main() {
 		fmt.Printf("\nspeedup vs baseline: %.2fx (baseline %d cycles)\n",
 			sim.Speedup(base.Stats, res.Stats), base.Stats.Cycles)
 	}
+	var memoSnap *stats.Snapshot
+	if cache != nil {
+		if ct := cache.Counters(); ct.Lookups() > 0 {
+			memoSnap = cache.StatsSnapshot()
+			fmt.Fprintf(os.Stderr, "samsim: memo: %v\n", ct)
+		}
+	}
 	if *statsJSON != "" {
-		if err := writeStatsJSON(*statsJSON, kind.String(), bench, res); err != nil {
+		if err := writeStatsJSON(*statsJSON, kind.String(), bench, res, memoSnap); err != nil {
 			fail(err)
 		}
 	}
@@ -316,9 +341,13 @@ type statsReport struct {
 	Rows       int
 	Aggregates []float64
 	Stats      sim.RunStats
+	// Memo is the run's cache instrument snapshot (memo.hits,
+	// memo.misses, memo.inflight_dedup counters and the memo.bytes
+	// gauge); absent when memoization is disabled or unused.
+	Memo *stats.Snapshot `json:",omitempty"`
 }
 
-func writeStatsJSON(path, designName string, q core.BenchQuery, r *sim.QueryResult) error {
+func writeStatsJSON(path, designName string, q core.BenchQuery, r *sim.QueryResult, memoSnap *stats.Snapshot) error {
 	out := statsReport{
 		Design:     designName,
 		Query:      q.Name,
@@ -326,6 +355,7 @@ func writeStatsJSON(path, designName string, q core.BenchQuery, r *sim.QueryResu
 		Rows:       r.Rows,
 		Aggregates: r.Aggregates,
 		Stats:      r.Stats,
+		Memo:       memoSnap,
 	}
 	enc, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

@@ -163,6 +163,13 @@ type Par struct {
 	// sequence is identical for any Workers value — the property the
 	// figure pipelines rely on to dump byte-identical metrics files.
 	Metrics func(figID, x, designName string, st sim.RunStats)
+	// Memo, when non-nil, routes every simulation of the sweep through the
+	// content-addressed run cache: identical (design, workload, query,
+	// fault) cells — across figures, sweeps, and repeat invocations —
+	// simulate once. Results are unchanged run-for-run (the cache returns
+	// exactly what the simulation would have produced), so figures are
+	// byte-identical with and without it.
+	Memo *Memo
 }
 
 func (p Par) opts() runner.Options {
@@ -194,7 +201,7 @@ func checkFunctional(q BenchQuery, k design.Kind, base, r *sim.QueryResult) erro
 func RunComparison(ctx context.Context, kinds []design.Kind, opts design.Options, w Workload, q BenchQuery, par Par) ([]SpeedupResult, error) {
 	all := append([]design.Kind{design.Baseline}, kinds...)
 	runs, err := runner.Map(ctx, all, par.opts(), func(_ context.Context, _ int, k design.Kind) (*sim.QueryResult, error) {
-		r, err := RunOne(k, opts, w, q)
+		r, err := par.runOne(k, opts, w, q)
 		if err != nil {
 			return nil, fmt.Errorf("%s on %v: %w", q.Name, k, err)
 		}

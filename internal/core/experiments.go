@@ -91,7 +91,7 @@ func Fig12(ctx context.Context, w Workload, par Par) (*Figure, error) {
 	runKinds := append([]design.Kind{design.Baseline}, kinds...)
 	grid, err := runner.Grid(ctx, queries, runKinds, par.opts(),
 		func(_ context.Context, _, _ int, q BenchQuery, k design.Kind) (*sim.QueryResult, error) {
-			r, err := RunOne(k, design.Options{}, w, q)
+			r, err := par.runOne(k, design.Options{}, w, q)
 			if err != nil {
 				return nil, fmt.Errorf("%s on %v: %w", q.Name, k, err)
 			}
@@ -175,7 +175,7 @@ func Fig13(ctx context.Context, w Workload, par Par) ([]Fig13Row, error) {
 	kinds := append([]design.Kind{Baseline()}, design.AllEvaluated()...)
 	grid, err := runner.Grid(ctx, kinds, queries, par.opts(),
 		func(_ context.Context, _, _ int, kind design.Kind, q BenchQuery) (*sim.QueryResult, error) {
-			r, err := RunOne(kind, design.Options{}, w, q)
+			r, err := par.runOne(kind, design.Options{}, w, q)
 			if err != nil {
 				return nil, fmt.Errorf("fig13 %s %v: %w", q.Name, kind, err)
 			}
@@ -239,7 +239,7 @@ type figJob struct {
 func runJobs(ctx context.Context, jobs []figJob, w Workload, par Par) ([]*sim.QueryResult, error) {
 	return runner.Map(ctx, jobs, par.opts(),
 		func(_ context.Context, _ int, j figJob) (*sim.QueryResult, error) {
-			r, err := RunOne(j.kind, j.opts, w, j.q)
+			r, err := par.runOne(j.kind, j.opts, w, j.q)
 			if err != nil {
 				return nil, fmt.Errorf("%s on %v: %w", j.q.Name, j.kind, err)
 			}
@@ -399,6 +399,10 @@ func sweepSQL(p SweepPoint, tableFields int) string {
 	return fmt.Sprintf("SELECT %s FROM T WHERE f0 < x", strings.Join(items, ", "))
 }
 
+// sweepTableSeed seeds every Fig. 15 generated table (part of the sweep
+// cache key — see sweepRunKey).
+const sweepTableSeed uint64 = 0xF15
+
 // SweepDesigns are the Fig. 15 representatives.
 func SweepDesigns() []design.Kind {
 	return []design.Kind{design.RCNVMWd, design.GSDRAMecc, design.SAMEn}
@@ -453,10 +457,10 @@ func RunSweepPointStats(ctx context.Context, p SweepPoint, records int, par Par)
 	query := sweepSQL(p, fields)
 	params := sql.Params{"x": imdb.Percentile(p.Selectivity)}
 
-	run := func(kind design.Kind, colStore bool) (*sim.QueryResult, error) {
+	sim1 := func(kind design.Kind, colStore bool) (*sim.QueryResult, error) {
 		d := design.New(kind, design.Options{})
 		s := sim.NewSystem(d)
-		s.AddTable(imdb.NewTable(schema, 0xF15), colStore)
+		s.AddTable(imdb.NewTable(schema, sweepTableSeed), colStore)
 		stmt, err := sql.Parse(query)
 		if err != nil {
 			return nil, err
@@ -476,6 +480,13 @@ func RunSweepPointStats(ctx context.Context, p SweepPoint, records int, par Par)
 		}
 		plan.FullScan = !colStore && len(touched)*10 >= fields*9
 		return s.RunPlan(plan)
+	}
+	run := sim1
+	if par.Memo != nil {
+		run = func(kind design.Kind, colStore bool) (*sim.QueryResult, error) {
+			key := sweepRunKey(kind, design.Options{}, schema, sweepTableSeed, query, params, colStore)
+			return par.Memo.do(key, func() (*sim.QueryResult, error) { return sim1(kind, colStore) })
+		}
 	}
 
 	type sweepRun struct {
@@ -539,7 +550,7 @@ func Fig15RecordSizes() []int { return []int{8, 16, 32, 64, 128, 256, 512, 1024}
 // the outer pool (which owns the progress callback), and each point's
 // per-design runs fan out on an inner pool with the same worker bound.
 func sweepFigure(ctx context.Context, id string, points []SweepPoint, records int, labels func(i int) string, par Par) (*Figure, error) {
-	inner := Par{Workers: par.Workers} // progress reports whole points only
+	inner := Par{Workers: par.Workers, Memo: par.Memo} // progress reports whole points only
 	type pointResult struct {
 		speedups map[string]float64
 		stats    map[string]sim.RunStats

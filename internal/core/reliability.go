@@ -179,9 +179,23 @@ func (r ReliabilityResult) SilentCorruptions() uint64 {
 func RunReliability(ctx context.Context, camp ReliabilityCampaign, par Par) ([]ReliabilityResult, error) {
 	cells := camp.Cells()
 	return runner.Map(ctx, cells, par.opts(), func(_ context.Context, i int, cell ReliabilityCell) (ReliabilityResult, error) {
-		s := NewSystem(cell.Design, design.Options{Gran: cell.Gran}, camp.Workload, false)
-		s.Faults = camp.faultsFor(cell, i)
-		r, err := RunOn(s, camp.Query)
+		opts := design.Options{Gran: cell.Gran}
+		fm := camp.faultsFor(cell, i)
+		compute := func() (*sim.QueryResult, error) {
+			s := NewSystem(cell.Design, opts, camp.Workload, false)
+			s.Faults = fm
+			return RunOn(s, camp.Query)
+		}
+		var r *sim.QueryResult
+		var err error
+		if par.Memo != nil {
+			// The reliability grid always runs row-store (colStore false),
+			// unlike the benchmark drivers' Ideal rule — key it explicitly.
+			key := benchRunKey(cell.Design, opts, camp.Workload, camp.Query, false, fm)
+			r, err = par.Memo.do(key, compute)
+		} else {
+			r, err = compute()
+		}
 		if err != nil {
 			return ReliabilityResult{}, fmt.Errorf("%s: %w", cell.Label(), err)
 		}

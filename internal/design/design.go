@@ -203,6 +203,26 @@ func (o Options) gran() Granularity {
 	return o.Gran
 }
 
+// Canon resolves the design defaults for kind into explicit option
+// values: the zero granularity becomes Gran4 and the substrate becomes
+// the design's paper substrate unless SubstrateSet forces it. Two
+// Options values that build identical designs for a kind canonicalize
+// identically — Options{} and {Substrate: DRAM, SubstrateSet: true} are
+// the same design point for a DRAM-default kind — which is the property
+// the memo cache keys on. New applies Canon itself, so Canon(Canon(o))
+// == Canon(o) and canonical options always rebuild the same design.
+func (o Options) Canon(kind Kind) Options {
+	c := Options{Gran: o.gran(), SubstrateSet: true}
+	switch kind {
+	case RCNVMBit, RCNVMWd:
+		c.Substrate = NVM
+	}
+	if o.SubstrateSet {
+		c.Substrate = o.Substrate
+	}
+	return c
+}
+
 // chipsFor returns rank width for power accounting under the scheme.
 func chipsFor(scheme ecc.Scheme) int {
 	if scheme == ecc.SchemeSSCDSD {
@@ -222,18 +242,11 @@ func schemeFor(g Granularity) ecc.Scheme {
 
 // New builds a design point.
 func New(kind Kind, opts Options) *Design {
-	g := opts.gran()
+	opts = opts.Canon(kind)
+	g := opts.Gran
 	scheme := schemeFor(g)
 	chips := chipsFor(scheme)
-
-	sub := DRAM
-	switch kind {
-	case RCNVMBit, RCNVMWd:
-		sub = NVM
-	}
-	if opts.SubstrateSet {
-		sub = opts.Substrate
-	}
+	sub := opts.Substrate
 
 	d := &Design{
 		Kind:     kind,

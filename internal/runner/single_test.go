@@ -1,0 +1,153 @@
+package runner
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestFlightDedup: concurrent callers on one key coalesce onto the
+// leader's execution. A caller that only reaches Do after the leader
+// completed legally re-executes (the group holds no history), so the
+// invariant is executions + shared == callers, with every result correct;
+// the gate keeps the leader in flight until every caller has started, so
+// in practice executions is 1.
+func TestFlightDedup(t *testing.T) {
+	var f Flight[int]
+	var execs, sharedCount atomic.Int32
+	gate := make(chan struct{})
+	ready := make(chan struct{}, 16)
+	const callers = 16
+
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ready <- struct{}{}
+			v, shared, err := f.Do("k", func() (int, error) {
+				execs.Add(1)
+				<-gate
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			if v != 42 {
+				t.Errorf("Do = %d, want 42", v)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	for i := 0; i < callers; i++ {
+		<-ready
+	}
+	close(gate)
+	wg.Wait()
+
+	if int(execs.Load())+int(sharedCount.Load()) != callers {
+		t.Fatalf("executions (%d) + shared (%d) != callers (%d)",
+			execs.Load(), sharedCount.Load(), callers)
+	}
+	if execs.Load() < 1 {
+		t.Fatal("fn never executed")
+	}
+	if f.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after completion, want 0", f.InFlight())
+	}
+}
+
+// TestFlightSequentialReexecutes: once a call completes, the key leaves the
+// group and a later Do runs fn again (caching is the layer above).
+func TestFlightSequentialReexecutes(t *testing.T) {
+	var f Flight[string]
+	execs := 0
+	for i := 0; i < 3; i++ {
+		v, shared, err := f.Do("k", func() (string, error) {
+			execs++
+			return "v", nil
+		})
+		if err != nil || v != "v" || shared {
+			t.Fatalf("Do = (%q, %v, %v)", v, shared, err)
+		}
+	}
+	if execs != 3 {
+		t.Fatalf("fn executed %d times, want 3", execs)
+	}
+}
+
+// TestFlightErrorPropagates: the leader's error reaches every sharer, the
+// failed key is not poisoned, and a retry succeeds.
+func TestFlightErrorPropagates(t *testing.T) {
+	var f Flight[int]
+	boom := errors.New("boom")
+	gate := make(chan struct{})
+	started := make(chan struct{})
+
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, errs[0] = f.Do("k", func() (int, error) {
+			close(started)
+			<-gate
+			return 0, boom
+		})
+	}()
+	<-started
+	for i := 1; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Stragglers that miss the in-flight window re-execute; their
+			// fn fails the same way, so every caller must observe boom.
+			_, _, errs[i] = f.Do("k", func() (int, error) { return 0, boom })
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("caller %d: err = %v, want boom", i, err)
+		}
+	}
+
+	// The key must be free again and succeed on retry.
+	v, shared, err := f.Do("k", func() (int, error) { return 7, nil })
+	if v != 7 || shared || err != nil {
+		t.Fatalf("retry Do = (%d, %v, %v), want (7, false, nil)", v, shared, err)
+	}
+}
+
+// TestFlightDistinctKeysParallel: different keys never block each other.
+func TestFlightDistinctKeysParallel(t *testing.T) {
+	var f Flight[int]
+	aInside := make(chan struct{})
+	aRelease := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f.Do("a", func() (int, error) {
+			close(aInside)
+			<-aRelease
+			return 1, nil
+		})
+	}()
+	<-aInside
+	// With "a" still in flight, "b" must complete immediately.
+	v, shared, err := f.Do("b", func() (int, error) { return 2, nil })
+	if v != 2 || shared || err != nil {
+		t.Fatalf("Do(b) = (%d, %v, %v)", v, shared, err)
+	}
+	if f.InFlight() != 1 {
+		t.Fatalf("InFlight = %d with a still executing, want 1", f.InFlight())
+	}
+	close(aRelease)
+	wg.Wait()
+}
