@@ -16,17 +16,22 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 
 	"sam/internal/core"
 	"sam/internal/design"
 	"sam/internal/etrace"
 	"sam/internal/imdb"
+	"sam/internal/obs"
+	"sam/internal/prof"
 	"sam/internal/sim"
 	"sam/internal/sql"
+	"sam/internal/stats"
 )
 
 type shell struct {
@@ -34,6 +39,14 @@ type shell struct {
 	workload core.Workload
 	systems  map[design.Kind]*sim.System
 	out      *bufio.Writer
+	plane    *obs.Plane
+
+	// The session accumulator: every query's metrics snapshot merged in
+	// arrival order, behind a mutex because live /metrics scrapes read it
+	// concurrently with the REPL goroutine.
+	mu      sync.Mutex
+	merged  *stats.Snapshot
+	queries int
 }
 
 func newShell(kind design.Kind, w core.Workload) *shell {
@@ -42,7 +55,26 @@ func newShell(kind design.Kind, w core.Workload) *shell {
 		workload: w,
 		systems:  map[design.Kind]*sim.System{},
 		out:      bufio.NewWriter(os.Stdout),
+		merged:   &stats.Snapshot{},
 	}
+}
+
+// record folds one run's metrics into the session accumulator.
+func (sh *shell) record(st sim.RunStats) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.queries++
+	_ = sh.merged.Merge(st.Metrics)
+}
+
+// sessionSnapshot copies the accumulator — the shell's /metrics source
+// and the -stats-json payload.
+func (sh *shell) sessionSnapshot() *stats.Snapshot {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := &stats.Snapshot{}
+	_ = out.Merge(sh.merged)
+	return out
 }
 
 // system lazily builds (and caches) a system per design so repeated queries
@@ -127,11 +159,14 @@ func (sh *shell) run(line string) {
 }
 
 func (sh *shell) query(text string, params sql.Params) {
+	finish := sh.plane.Single("query")
 	r, err := sh.system(sh.kind).RunQuery(text, params)
+	finish(err)
 	if err != nil {
 		sh.printf("error: %v\n", err)
 		return
 	}
+	sh.record(r.Stats)
 	sh.printf("rows %d", r.Rows)
 	for i, agg := range r.Aggregates {
 		sh.printf("   agg[%d]=%.6g", i, agg)
@@ -157,11 +192,14 @@ func (sh *shell) trace(file, text string) {
 	sp.Name = sh.kind.String()
 	s.AttachEventTrace(buf, sp)
 	defer s.AttachEventTrace(nil, nil)
+	finish := sh.plane.Single("trace")
 	r, err := s.RunQuery(text, sql.Params{})
+	finish(err)
 	if err != nil {
 		sh.printf("error: %v\n", err)
 		return
 	}
+	sh.record(r.Stats)
 	f, err := os.Create(file)
 	if err != nil {
 		sh.printf("error: %v\n", err)
@@ -182,16 +220,21 @@ func (sh *shell) trace(file, text string) {
 }
 
 func (sh *shell) compare(text string) {
+	finish := sh.plane.Single("compare")
 	base, err := sh.system(design.Baseline).RunQuery(text, sql.Params{})
 	if err != nil {
+		finish(err)
 		sh.printf("error: %v\n", err)
 		return
 	}
+	sh.record(base.Stats)
 	r, err := sh.system(sh.kind).RunQuery(text, sql.Params{})
+	finish(err)
 	if err != nil {
 		sh.printf("error: %v\n", err)
 		return
 	}
+	sh.record(r.Stats)
 	if r.Rows != base.Rows {
 		sh.printf("RESULT MISMATCH: %d vs %d rows\n", base.Rows, r.Rows)
 		return
@@ -204,7 +247,31 @@ func main() {
 	designName := flag.String("design", "SAM-en", "initial design")
 	ta := flag.Int("ta", 4096, "Ta records")
 	tb := flag.Int("tb", 32768, "Tb records")
+	statsJSON := flag.String("stats-json", "", "write the session's merged run metrics as JSON on exit ('-' for stdout)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	// fail closes the (idempotent, nil-safe) plane first: os.Exit skips
+	// the deferred Close, and an aborted session should still summarize
+	// its event log.
+	var plane *obs.Plane
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "samdb:", err)
+		_ = plane.Close()
+		os.Exit(1)
+	}
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fail(err)
+		}
+	}()
 
 	kind, ok := kindByName(*designName)
 	if !ok {
@@ -212,6 +279,18 @@ func main() {
 		os.Exit(1)
 	}
 	sh := newShell(kind, core.Workload{TaRecords: *ta, TbRecords: *tb, Seed: 0xDB})
+
+	plane, err = obsFlags.Start(os.Stderr)
+	if err != nil {
+		fail(err)
+	}
+	sh.plane = plane
+	plane.AddSource(sh.sessionSnapshot)
+	defer func() {
+		if err := plane.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "samdb: obs:", err)
+		}
+	}()
 
 	interactive := false
 	if fi, err := os.Stdin.Stat(); err == nil && fi.Mode()&os.ModeCharDevice != 0 {
@@ -233,5 +312,24 @@ func main() {
 			break
 		}
 		sh.run(line)
+	}
+
+	if *statsJSON != "" {
+		out := struct {
+			Queries int             `json:"queries"`
+			Metrics *stats.Snapshot `json:"metrics"`
+		}{sh.queries, sh.sessionSnapshot()}
+		enc, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		enc = append(enc, '\n')
+		if *statsJSON == "-" {
+			if _, err := os.Stdout.Write(enc); err != nil {
+				fail(err)
+			}
+		} else if err := os.WriteFile(*statsJSON, enc, 0o644); err != nil {
+			fail(err)
+		}
 	}
 }

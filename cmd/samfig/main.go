@@ -26,6 +26,7 @@ import (
 	"sam/internal/design"
 	"sam/internal/etrace"
 	"sam/internal/memo"
+	"sam/internal/obs"
 	"sam/internal/prof"
 	"sam/internal/sim"
 	"sam/internal/stats"
@@ -70,6 +71,7 @@ func main() {
 	traceLimit := flag.Int("trace-limit", etrace.DefaultCapacity, "event-ring capacity per design; oldest events drop beyond this")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -86,8 +88,14 @@ func main() {
 		w.TbRecords = *tbRecords
 	}
 
+	// fail closes the plane before exiting so an aborted run (a cancelled
+	// sweep, a failed figure) still gets its event-log summary; os.Exit
+	// skips the deferred Close, and Close is idempotent for the normal
+	// path.
+	var plane *obs.Plane
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "samfig:", err)
+		_ = plane.Close()
 		os.Exit(1)
 	}
 
@@ -118,6 +126,22 @@ func main() {
 		cache = core.NewMemo(core.MemoOptions{Dir: *cacheDir})
 	}
 
+	// The observability plane (nil when both flags are off) serves live
+	// /metrics, /progress, and the stall watchdog while figures run, and
+	// appends the JSONL run-lifecycle event log.
+	plane, err = obsFlags.Start(os.Stderr)
+	if err != nil {
+		fail(err)
+	}
+	if cache != nil {
+		plane.AddSource(cache.StatsSnapshot)
+	}
+	defer func() {
+		if err := plane.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "samfig: obs:", err)
+		}
+	}()
+
 	// collected gathers per-run metrics by figure ID, in emission order
 	// (the drivers call Par.Metrics from their deterministic aggregation
 	// loops, never from workers).
@@ -127,7 +151,7 @@ func main() {
 	// par builds the per-sweep parallelism config; the progress callback
 	// rewrites one stderr line per completed simulation of that sweep.
 	par := func(name string) core.Par {
-		p := core.Par{Workers: *workers, Memo: cache}
+		p := core.Par{Workers: *workers, Memo: cache, Observer: plane.Hooks(name)}
 		if *progress {
 			p.Progress = func(done, total int) {
 				fmt.Fprintf(os.Stderr, "\r%s: %d/%d runs", name, done, total)

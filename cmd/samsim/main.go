@@ -25,6 +25,7 @@ import (
 	"sam/internal/fault"
 	"sam/internal/imdb"
 	"sam/internal/mc"
+	"sam/internal/obs"
 	"sam/internal/prof"
 	"sam/internal/runner"
 	"sam/internal/sim"
@@ -68,13 +69,19 @@ func main() {
 	noCache := flag.Bool("no-cache", false, "disable run memoization entirely (overrides -cache-dir)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	// fail closes the (idempotent, nil-safe) plane first: os.Exit skips
+	// the deferred Close, and an aborted run should still summarize its
+	// event log.
+	var plane *obs.Plane
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "samsim:", err)
+		_ = plane.Close()
 		os.Exit(1)
 	}
 
@@ -139,6 +146,19 @@ func main() {
 		return cache.RunOne(k, design.Options{}, w, q)
 	}
 
+	plane, err = obsFlags.Start(os.Stderr)
+	if err != nil {
+		fail(err)
+	}
+	if cache != nil {
+		plane.AddSource(cache.StatsSnapshot)
+	}
+	defer func() {
+		if err := plane.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "samsim: obs:", err)
+		}
+	}()
+
 	eventTracing := *eventOut != "" || *traceCSV != ""
 	var res, base *sim.QueryResult
 	if faults != nil || *traceOut != "" || eventTracing || *shardWorkers != 0 {
@@ -167,7 +187,9 @@ func main() {
 		if params == nil {
 			params = sql.Params{}
 		}
+		finish := plane.Single("run")
 		res, err = s.RunQuery(bench.SQL, params)
+		finish(err)
 		if err != nil {
 			fail(err)
 		}
@@ -200,7 +222,7 @@ func main() {
 		// The design and its baseline are independent runs; fan them out
 		// on the worker pool.
 		runs, rerr := runner.Map(ctx, []design.Kind{kind, design.Baseline},
-			runner.Options{Workers: *workers},
+			runner.Options{Workers: *workers, Observer: plane.Hooks("compare")},
 			func(_ context.Context, _ int, k design.Kind) (*sim.QueryResult, error) {
 				r, err := runOne(k, bench)
 				if err != nil {
@@ -213,7 +235,9 @@ func main() {
 		}
 		res, base = runs[0], runs[1]
 	} else {
+		finish := plane.Single("run")
 		res, err = runOne(kind, bench)
+		finish(err)
 		if err != nil {
 			fail(err)
 		}

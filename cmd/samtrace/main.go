@@ -21,6 +21,7 @@ import (
 	"sam/internal/dram"
 	"sam/internal/etrace"
 	"sam/internal/mc"
+	"sam/internal/obs"
 	"sam/internal/prof"
 	"sam/internal/stats"
 	"sam/internal/trace"
@@ -40,12 +41,28 @@ func main() {
 	traceLimit := flag.Int("trace-limit", etrace.DefaultCapacity, "event-ring capacity; oldest events drop beyond this")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	// fail closes the (idempotent, nil-safe) plane first: os.Exit skips
+	// the deferred Close, and an aborted replay should still summarize
+	// its event log.
+	var plane *obs.Plane
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "samtrace:", err)
+		_ = plane.Close()
 		os.Exit(1)
 	}
+
+	plane, perr := obsFlags.Start(os.Stderr)
+	if perr != nil {
+		fail(perr)
+	}
+	defer func() {
+		if err := plane.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "samtrace: obs:", err)
+		}
+	}()
 
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -89,7 +106,7 @@ func main() {
 			}
 		}
 		topts := traceOpts{out: *eventOut, csv: *traceCSV, window: *traceWindow, limit: *traceLimit}
-		if err := report(tr, *rram, *statsJSON, topts); err != nil {
+		if err := report(tr, *rram, *statsJSON, topts, plane); err != nil {
 			fail(err)
 		}
 		return
@@ -134,7 +151,7 @@ type traceOpts struct {
 
 func (o traceOpts) enabled() bool { return o.out != "" || o.csv != "" }
 
-func report(tr *trace.Trace, rram bool, statsJSON string, topts traceOpts) error {
+func report(tr *trace.Trace, rram bool, statsJSON string, topts traceOpts, plane *obs.Plane) error {
 	cfg := dram.DDR4_2400()
 	if rram {
 		cfg = dram.RRAM()
@@ -149,7 +166,7 @@ func report(tr *trace.Trace, rram bool, statsJSON string, topts traceOpts) error
 	// completion observer can drive the windowed sampler directly.
 	var buf *etrace.Buffer
 	var sp *etrace.Sampler
-	var obs func(mc.Completion)
+	var observe func(mc.Completion)
 	if topts.enabled() {
 		buf = etrace.NewBuffer(topts.limit)
 		sp = etrace.NewSampler(topts.window)
@@ -157,7 +174,7 @@ func report(tr *trace.Trace, rram bool, statsJSON string, topts traceOpts) error
 		ctrl.Trace = ct
 		dev.Trace = ct
 		var hw dram.Cycle
-		obs = func(c mc.Completion) {
+		observe = func(c mc.Completion) {
 			if c.DataEnd > hw {
 				hw = c.DataEnd
 			}
@@ -169,7 +186,12 @@ func report(tr *trace.Trace, rram bool, statsJSON string, topts traceOpts) error
 			}
 		}
 	}
-	comps, err := trace.ReplayObserved(tr, ctrl, obs)
+	finish := plane.Single("replay")
+	comps, err := trace.ReplayObserved(tr, ctrl, observe)
+	finish(err)
+	// The replay mutates reg from this goroutine, so the controller
+	// registry joins the /metrics surface only once it has quiesced.
+	plane.AddSource(reg.Snapshot)
 	if err != nil {
 		// Surface how far the replay got instead of discarding the partial
 		// result with the error.

@@ -170,10 +170,16 @@ type Par struct {
 	// exactly what the simulation would have produced), so figures are
 	// byte-identical with and without it.
 	Memo *Memo
+	// Observer, when non-nil, receives run-lifecycle callbacks for every
+	// sweep the driver fans out: job enqueue/start/finish spans with memo
+	// hit/miss attribution — the feed behind the live telemetry plane
+	// (internal/obs). Observation never influences scheduling or results;
+	// tables stay byte-identical with it attached.
+	Observer runner.SweepObserver
 }
 
 func (p Par) opts() runner.Options {
-	return runner.Options{Workers: p.Workers, OnProgress: p.Progress}
+	return runner.Options{Workers: p.Workers, OnProgress: p.Progress, Observer: p.Observer}
 }
 
 // SpeedupResult is one (query, design) cell of Fig. 12.
@@ -200,8 +206,8 @@ func checkFunctional(q BenchQuery, k design.Kind, base, r *sim.QueryResult) erro
 // joined error lists every failing design, not just the first.
 func RunComparison(ctx context.Context, kinds []design.Kind, opts design.Options, w Workload, q BenchQuery, par Par) ([]SpeedupResult, error) {
 	all := append([]design.Kind{design.Baseline}, kinds...)
-	runs, err := runner.Map(ctx, all, par.opts(), func(_ context.Context, _ int, k design.Kind) (*sim.QueryResult, error) {
-		r, err := par.runOne(k, opts, w, q)
+	runs, err := runner.Map(ctx, all, par.opts(), func(ctx context.Context, _ int, k design.Kind) (*sim.QueryResult, error) {
+		r, err := par.runOne(ctx, k, opts, w, q)
 		if err != nil {
 			return nil, fmt.Errorf("%s on %v: %w", q.Name, k, err)
 		}

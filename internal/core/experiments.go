@@ -90,8 +90,8 @@ func Fig12(ctx context.Context, w Workload, par Par) (*Figure, error) {
 	queries := Benchmark()
 	runKinds := append([]design.Kind{design.Baseline}, kinds...)
 	grid, err := runner.Grid(ctx, queries, runKinds, par.opts(),
-		func(_ context.Context, _, _ int, q BenchQuery, k design.Kind) (*sim.QueryResult, error) {
-			r, err := par.runOne(k, design.Options{}, w, q)
+		func(ctx context.Context, _, _ int, q BenchQuery, k design.Kind) (*sim.QueryResult, error) {
+			r, err := par.runOne(ctx, k, design.Options{}, w, q)
 			if err != nil {
 				return nil, fmt.Errorf("%s on %v: %w", q.Name, k, err)
 			}
@@ -174,8 +174,8 @@ func Fig13(ctx context.Context, w Workload, par Par) ([]Fig13Row, error) {
 	queries := Benchmark()
 	kinds := append([]design.Kind{Baseline()}, design.AllEvaluated()...)
 	grid, err := runner.Grid(ctx, kinds, queries, par.opts(),
-		func(_ context.Context, _, _ int, kind design.Kind, q BenchQuery) (*sim.QueryResult, error) {
-			r, err := par.runOne(kind, design.Options{}, w, q)
+		func(ctx context.Context, _, _ int, kind design.Kind, q BenchQuery) (*sim.QueryResult, error) {
+			r, err := par.runOne(ctx, kind, design.Options{}, w, q)
 			if err != nil {
 				return nil, fmt.Errorf("fig13 %s %v: %w", q.Name, kind, err)
 			}
@@ -238,8 +238,8 @@ type figJob struct {
 // runJobs executes a flat job list on the worker pool.
 func runJobs(ctx context.Context, jobs []figJob, w Workload, par Par) ([]*sim.QueryResult, error) {
 	return runner.Map(ctx, jobs, par.opts(),
-		func(_ context.Context, _ int, j figJob) (*sim.QueryResult, error) {
-			r, err := par.runOne(j.kind, j.opts, w, j.q)
+		func(ctx context.Context, _ int, j figJob) (*sim.QueryResult, error) {
+			r, err := par.runOne(ctx, j.kind, j.opts, w, j.q)
 			if err != nil {
 				return nil, fmt.Errorf("%s on %v: %w", j.q.Name, j.kind, err)
 			}
@@ -481,11 +481,15 @@ func RunSweepPointStats(ctx context.Context, p SweepPoint, records int, par Par)
 		plan.FullScan = !colStore && len(touched)*10 >= fields*9
 		return s.RunPlan(plan)
 	}
-	run := sim1
+	run := func(ctx context.Context, kind design.Kind, colStore bool) (*sim.QueryResult, error) {
+		return sim1(kind, colStore)
+	}
 	if par.Memo != nil {
-		run = func(kind design.Kind, colStore bool) (*sim.QueryResult, error) {
+		run = func(ctx context.Context, kind design.Kind, colStore bool) (*sim.QueryResult, error) {
 			key := sweepRunKey(kind, design.Options{}, schema, sweepTableSeed, query, params, colStore)
-			return par.Memo.do(key, func() (*sim.QueryResult, error) { return sim1(kind, colStore) })
+			r, out, err := par.Memo.do(key, func() (*sim.QueryResult, error) { return sim1(kind, colStore) })
+			annotateMemo(ctx, out, err)
+			return r, err
 		}
 	}
 
@@ -501,8 +505,8 @@ func RunSweepPointStats(ctx context.Context, p SweepPoint, records int, par Par)
 	// column placement.
 	runs = append(runs, sweepRun{design.Ideal, true})
 	res, err := runner.Map(ctx, runs, par.opts(),
-		func(_ context.Context, _ int, sr sweepRun) (*sim.QueryResult, error) {
-			r, err := run(sr.kind, sr.colStore)
+		func(ctx context.Context, _ int, sr sweepRun) (*sim.QueryResult, error) {
+			r, err := run(ctx, sr.kind, sr.colStore)
 			if err != nil {
 				return nil, fmt.Errorf("sweep on %v: %w", sr.kind, err)
 			}
@@ -550,7 +554,7 @@ func Fig15RecordSizes() []int { return []int{8, 16, 32, 64, 128, 256, 512, 1024}
 // the outer pool (which owns the progress callback), and each point's
 // per-design runs fan out on an inner pool with the same worker bound.
 func sweepFigure(ctx context.Context, id string, points []SweepPoint, records int, labels func(i int) string, par Par) (*Figure, error) {
-	inner := Par{Workers: par.Workers, Memo: par.Memo} // progress reports whole points only
+	inner := Par{Workers: par.Workers, Memo: par.Memo, Observer: par.Observer} // progress reports whole points only
 	type pointResult struct {
 		speedups map[string]float64
 		stats    map[string]sim.RunStats

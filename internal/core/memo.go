@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"sam/internal/design"
 	"sam/internal/imdb"
 	"sam/internal/memo"
+	"sam/internal/runner"
 	"sam/internal/sim"
 	"sam/internal/sql"
 	"sam/internal/stats"
@@ -57,37 +59,56 @@ func (m *Memo) StatsSnapshot() *stats.Snapshot { return m.cache.StatsSnapshot() 
 // computed result, a miss runs the simulation and caches it. Safe for
 // concurrent use; concurrent lookups of the same key run one simulation.
 func (m *Memo) RunOne(kind design.Kind, opts design.Options, w Workload, q BenchQuery) (*sim.QueryResult, error) {
+	r, _, err := m.runBench(kind, opts, w, q, nil)
+	return r, err
+}
+
+// RunOneObserved is RunOne exposing the cache outcome, so callers feeding
+// the telemetry plane can attribute the run (hit/miss/disk-hit/dedup).
+func (m *Memo) RunOneObserved(kind design.Kind, opts design.Options, w Workload, q BenchQuery) (*sim.QueryResult, memo.Outcome, error) {
 	return m.runBench(kind, opts, w, q, nil)
 }
 
 // runBench caches a benchmark-shaped run (both tables loaded, optional
 // fault model) under its canonical fingerprint.
-func (m *Memo) runBench(kind design.Kind, opts design.Options, w Workload, q BenchQuery, fm *sim.FaultModel) (*sim.QueryResult, error) {
+func (m *Memo) runBench(kind design.Kind, opts design.Options, w Workload, q BenchQuery, fm *sim.FaultModel) (*sim.QueryResult, memo.Outcome, error) {
 	colStore := kind == design.Ideal && q.Class == ClassQ
 	key := benchRunKey(kind, opts, w, q, colStore, fm)
-	r, _, err := m.cache.Do(key, func() (*sim.QueryResult, error) {
+	return m.cache.Do(key, func() (*sim.QueryResult, error) {
 		s := NewSystem(kind, opts, w, colStore)
 		if fm != nil {
 			s.Faults = fm
 		}
 		return RunOn(s, q)
 	})
-	return r, err
 }
 
 // do caches an arbitrary run under a precomputed key (the sweep driver
 // builds its own system shape).
-func (m *Memo) do(key string, compute func() (*sim.QueryResult, error)) (*sim.QueryResult, error) {
-	r, _, err := m.cache.Do(key, compute)
-	return r, err
+func (m *Memo) do(key string, compute func() (*sim.QueryResult, error)) (*sim.QueryResult, memo.Outcome, error) {
+	return m.cache.Do(key, compute)
 }
 
-// runOne routes a benchmark run through the Par's memo when present.
-func (p Par) runOne(kind design.Kind, opts design.Options, w Workload, q BenchQuery) (*sim.QueryResult, error) {
+// runOne routes a benchmark run through the Par's memo when present,
+// annotating the job span (when the sweep is observed) with the cache
+// outcome so the event log can attribute hits and misses per job.
+func (p Par) runOne(ctx context.Context, kind design.Kind, opts design.Options, w Workload, q BenchQuery) (*sim.QueryResult, error) {
 	if p.Memo == nil {
 		return RunOne(kind, opts, w, q)
 	}
-	return p.Memo.RunOne(kind, opts, w, q)
+	r, out, err := p.Memo.RunOneObserved(kind, opts, w, q)
+	if err == nil {
+		runner.Annotate(ctx, "memo", out.String())
+	}
+	return r, err
+}
+
+// annotateMemo tags the observed job span with a cache outcome — the
+// shared helper for drivers that call Memo.do directly.
+func annotateMemo(ctx context.Context, out memo.Outcome, err error) {
+	if err == nil {
+		runner.Annotate(ctx, "memo", out.String())
+	}
 }
 
 // --- canonical fingerprints -------------------------------------------------

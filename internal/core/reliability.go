@@ -7,6 +7,7 @@ import (
 	"sam/internal/design"
 	"sam/internal/ecc"
 	"sam/internal/fault"
+	"sam/internal/memo"
 	"sam/internal/runner"
 	"sam/internal/sim"
 )
@@ -178,7 +179,7 @@ func (r ReliabilityResult) SilentCorruptions() uint64 {
 // a fresh system and a seed derived only from (campaign seed, cell index).
 func RunReliability(ctx context.Context, camp ReliabilityCampaign, par Par) ([]ReliabilityResult, error) {
 	cells := camp.Cells()
-	return runner.Map(ctx, cells, par.opts(), func(_ context.Context, i int, cell ReliabilityCell) (ReliabilityResult, error) {
+	return runner.Map(ctx, cells, par.opts(), func(ctx context.Context, i int, cell ReliabilityCell) (ReliabilityResult, error) {
 		opts := design.Options{Gran: cell.Gran}
 		fm := camp.faultsFor(cell, i)
 		compute := func() (*sim.QueryResult, error) {
@@ -192,7 +193,9 @@ func RunReliability(ctx context.Context, camp ReliabilityCampaign, par Par) ([]R
 			// The reliability grid always runs row-store (colStore false),
 			// unlike the benchmark drivers' Ideal rule — key it explicitly.
 			key := benchRunKey(cell.Design, opts, camp.Workload, camp.Query, false, fm)
-			r, err = par.Memo.do(key, compute)
+			var out memo.Outcome
+			r, out, err = par.Memo.do(key, compute)
+			annotateMemo(ctx, out, err)
 		} else {
 			r, err = compute()
 		}

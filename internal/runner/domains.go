@@ -31,6 +31,7 @@ import (
 // pool.
 type Domains struct {
 	workers []domainWorker
+	pulse   func(worker int) // nil = unobserved; set before workers start
 	wg      sync.WaitGroup
 
 	mu       sync.Mutex
@@ -56,17 +57,27 @@ type domainItem struct {
 // goroutines (workers <= 0 selects one per lane; workers is clamped to
 // lanes). The pool must be Closed to release the goroutines.
 func NewDomains(lanes, workers int) *Domains {
+	return NewDomainsPulse(lanes, workers, nil)
+}
+
+// NewDomainsPulse is NewDomains with a liveness heartbeat attached: pulse,
+// when non-nil, is called with the worker's index after each executed item
+// — the stall watchdog's signal that a domain worker is still making
+// progress. It runs on the worker goroutine and must be cheap and
+// goroutine-safe. A nil pulse is the zero-overhead fast path (one nil
+// check per item, no allocation).
+func NewDomainsPulse(lanes, workers int, pulse func(worker int)) *Domains {
 	if lanes < 1 {
 		lanes = 1
 	}
 	if workers <= 0 || workers > lanes {
 		workers = lanes
 	}
-	d := &Domains{workers: make([]domainWorker, workers)}
+	d := &Domains{workers: make([]domainWorker, workers), pulse: pulse}
 	for w := range d.workers {
 		d.workers[w].in = make(chan domainItem, domainQueueDepth)
 		d.wg.Add(1)
-		go d.serve(d.workers[w].in)
+		go d.serve(w, d.workers[w].in)
 	}
 	return d
 }
@@ -75,7 +86,7 @@ func NewDomains(lanes, workers int) *Domains {
 func (d *Domains) Workers() int { return len(d.workers) }
 
 // serve is one worker's loop.
-func (d *Domains) serve(in chan domainItem) {
+func (d *Domains) serve(w int, in chan domainItem) {
 	defer d.wg.Done()
 	for item := range in {
 		if item.sync != nil {
@@ -89,6 +100,9 @@ func (d *Domains) serve(in chan domainItem) {
 			continue // drain without running; Barrier will re-raise
 		}
 		d.run(item.fn)
+		if d.pulse != nil {
+			d.pulse(w)
+		}
 	}
 }
 

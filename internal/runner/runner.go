@@ -49,6 +49,63 @@ type Options struct {
 	// so the callback needs no locking of its own, but it runs on worker
 	// goroutines and should be cheap.
 	OnProgress func(done, total int)
+	// Observer, when non-nil, receives run-lifecycle callbacks for the
+	// sweep: one SweepStarted per Map/Grid call, then per-item
+	// started/finished callbacks from the worker goroutines (the observer
+	// must be goroutine-safe). A nil Observer costs nothing — the fast
+	// path has no per-item allocation or indirection.
+	Observer SweepObserver
+}
+
+// SweepObserver receives run-lifecycle callbacks from Map and Grid — the
+// hook the observability plane (internal/obs) uses to track job spans,
+// queue waits, and worker occupancy without the pool knowing anything
+// about metrics or logging.
+type SweepObserver interface {
+	// SweepStarted is called once per Map/Grid invocation, before any item
+	// runs, with the item count. Every item is considered enqueued at this
+	// point. The returned span receives the per-item callbacks; returning
+	// nil disables them for this sweep.
+	SweepStarted(total int) SweepSpan
+}
+
+// SweepSpan receives one sweep's per-item callbacks. Item indices are the
+// Map item indices; worker is the pool worker slot running the item
+// (0 for the inline single-worker path). Callbacks arrive from worker
+// goroutines, concurrently across items; implementations must be
+// goroutine-safe.
+type SweepSpan interface {
+	// JobStarted: item i began executing on worker w.
+	JobStarted(i, worker int)
+	// JobAnnotate attaches key=value to item i — e.g. the memo layer's
+	// hit/miss attribution, delivered via Annotate from inside the item
+	// function. It may arrive any time between JobStarted and JobFinished.
+	JobAnnotate(i int, key, value string)
+	// JobFinished: item i completed; err is the item's error (nil on
+	// success). Items skipped by cancellation never start and never
+	// finish.
+	JobFinished(i, worker int, err error)
+}
+
+// jobCtxKey carries the current item's span reference through the context
+// handed to the item function, so layers below the pool (the memo cache
+// routing in internal/core) can annotate the job they run under.
+type jobCtxKey struct{}
+
+type jobRef struct {
+	span SweepSpan
+	i    int
+}
+
+// Annotate attaches key=value to the sweep item driving ctx, if ctx
+// descends from an observed Map/Grid call; otherwise it is a no-op. This
+// is how code inside an item function reports per-job attribution (memo
+// hit/miss, retry counts) without threading the observer through every
+// signature.
+func Annotate(ctx context.Context, key, value string) {
+	if r, ok := ctx.Value(jobCtxKey{}).(jobRef); ok {
+		r.span.JobAnnotate(r.i, key, value)
+	}
 }
 
 // workers resolves the effective worker count for n items.
@@ -80,6 +137,10 @@ func Map[T, R any](ctx context.Context, items []T, opts Options, fn func(ctx con
 	}
 	errs := make([]error, n)
 	workers := opts.workers(n)
+	var span SweepSpan
+	if opts.Observer != nil {
+		span = opts.Observer.SweepStarted(n)
+	}
 	var (
 		wg         sync.WaitGroup
 		progressMu sync.Mutex
@@ -93,14 +154,28 @@ func Map[T, R any](ctx context.Context, items []T, opts Options, fn func(ctx con
 			progressMu.Unlock()
 		}
 	}
+	// runItem executes item i on worker w, bracketed by the span callbacks
+	// when the sweep is observed. The nil-span fast path adds no context
+	// allocation and no calls — the zero-overhead contract the alloc pin
+	// in runner_test.go enforces.
+	runItem := func(ctx context.Context, i, w int) {
+		if span != nil {
+			span.JobStarted(i, w)
+			ctx = context.WithValue(ctx, jobCtxKey{}, jobRef{span, i})
+		}
+		errs[i] = runOne(ctx, i, items[i], fn, &res[i])
+		if span != nil {
+			span.JobFinished(i, w, errs[i])
+		}
+		progress()
+	}
 	if workers == 1 {
 		// Degenerate pool: run every item inline on this goroutine. Same
 		// semantics — per-item cancellation check, panic containment,
 		// serialized progress — with zero goroutine/channel overhead, so a
 		// Workers:1 (or single-CPU) sweep costs exactly a for loop.
 		for i := 0; i < n && ctx.Err() == nil; i++ {
-			errs[i] = runOne(ctx, i, items[i], fn, &res[i])
-			progress()
+			runItem(ctx, i, 0)
 		}
 		return res, joinWith(ctx, errs)
 	}
@@ -112,24 +187,23 @@ func Map[T, R any](ctx context.Context, items []T, opts Options, fn func(ctx con
 	if chunk < 1 {
 		chunk = 1
 	}
-	type span struct{ lo, hi int }
-	spans := make(chan span)
+	type chunkRange struct{ lo, hi int }
+	chunks := make(chan chunkRange)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for sp := range spans {
+			for sp := range chunks {
 				for i := sp.lo; i < sp.hi && ctx.Err() == nil; i++ {
-					errs[i] = runOne(ctx, i, items[i], fn, &res[i])
-					progress()
+					runItem(ctx, i, w)
 				}
 			}
-		}()
+		}(w)
 	}
 feed:
 	for lo := 0; lo < n; lo += chunk {
 		// The explicit Err check keeps the select's random choice from
-		// feeding extra spans once cancellation has been observed.
+		// feeding extra chunks once cancellation has been observed.
 		if ctx.Err() != nil {
 			break
 		}
@@ -138,12 +212,12 @@ feed:
 			hi = n
 		}
 		select {
-		case spans <- span{lo, hi}:
+		case chunks <- chunkRange{lo, hi}:
 		case <-ctx.Done():
 			break feed
 		}
 	}
-	close(spans)
+	close(chunks)
 	wg.Wait()
 	return res, joinWith(ctx, errs)
 }

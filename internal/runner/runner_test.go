@@ -250,3 +250,24 @@ func TestOptionsWorkerClamp(t *testing.T) {
 		}
 	}
 }
+
+// TestMapNilObserverZeroAllocs pins the nil-observer fast path: an
+// unobserved Workers:1 Map must cost a constant number of allocations
+// (the two result slices) regardless of item count — no per-item span
+// contexts, no callback machinery. alloccheck.sh runs this pin; adding
+// any per-item allocation to the fast path is a regression.
+func TestMapNilObserverZeroAllocs(t *testing.T) {
+	items := make([]int, 1024)
+	fn := func(_ context.Context, _ int, v int) (int, error) { return v, nil }
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := Map(ctx, items, Options{Workers: 1}, fn); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The fixed cost is the res and errs slices (plus small rounding
+	// slack); anything scaling with len(items) lands far above this.
+	if allocs > 8 {
+		t.Fatalf("nil-observer Map allocates %.0f/run for 1024 items — per-item allocation crept into the fast path", allocs)
+	}
+}

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"sync/atomic"
+
+	"sam/internal/stats"
+)
+
+// Shard-engine observability: process-wide counters the live telemetry
+// plane (internal/obs) scrapes while sweeps run. They are plain atomics —
+// never read by the engine itself — so they cannot perturb the
+// determinism contract, and incrementing them costs one uncontended
+// atomic add per sharded run / epoch barrier (both far off the per-op
+// hot path).
+var (
+	shardRuns   atomic.Uint64 // sharded runs started
+	shardEpochs atomic.Uint64 // epoch barriers executed across all sharded runs
+	domainPulse atomic.Pointer[func(worker int)]
+)
+
+// SetDomainPulse installs the process-wide domain-worker heartbeat: every
+// lane worker of every subsequently started sharded run calls fn with its
+// worker index after each executed batch. fn must be goroutine-safe and
+// cheap. Passing nil uninstalls the heartbeat. Runs already in flight
+// keep the hook they started with.
+func SetDomainPulse(fn func(worker int)) {
+	if fn == nil {
+		domainPulse.Store(nil)
+		return
+	}
+	domainPulse.Store(&fn)
+}
+
+// loadDomainPulse reads the installed heartbeat (nil when unset).
+func loadDomainPulse() func(worker int) {
+	if p := domainPulse.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// ShardObsSnapshot freezes the sharded-engine counters as an
+// internal/stats snapshot (sim.shard.runs, sim.shard.epochs), ready to
+// merge into a /metrics scrape. The snapshot is monotonic across calls,
+// so scrape-to-scrape deltas yield the epoch rate.
+func ShardObsSnapshot() *stats.Snapshot {
+	return &stats.Snapshot{Counters: map[string]uint64{
+		"sim.shard.runs":   shardRuns.Load(),
+		"sim.shard.epochs": shardEpochs.Load(),
+	}}
+}

@@ -150,8 +150,9 @@ func (s *System) shardWorkerPlan() int {
 // matter how many runs a sweep performs.
 func newShardState(s *System, workers int) *shardState {
 	n := s.Channels()
+	shardRuns.Add(1)
 	st := &shardState{
-		pool: runner.NewDomains(n, workers),
+		pool: runner.NewDomainsPulse(n, workers, loadDomainPulse()),
 		doms: make([]shardDomain, n),
 	}
 	for ch := 0; ch < n; ch++ {
@@ -305,6 +306,7 @@ func (st *shardState) barrier(e *engine) {
 		st.flush(ch)
 	}
 	st.pool.Barrier()
+	shardEpochs.Add(1)
 	st.sinceSync = 0
 	if e.sys.Sampler != nil {
 		var hi dram.Cycle

@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders Snapshots in the Prometheus text exposition format
+// (version 0.0.4) — the live /metrics surface of the observability plane
+// (internal/obs). Rendering works on Snapshots, not registries, so the
+// caller decides how to synchronize with writers: snapshot under the
+// owning lock, render lock-free.
+
+// PromName maps an instrument name to a valid Prometheus metric name
+// under the given namespace: every character outside [a-zA-Z0-9_] becomes
+// '_' (so "mc.lat-read.normal" renders as ns_mc_lat_read_normal). The
+// mapping is stable — the golden exposition test pins it.
+func PromName(ns, name string) string {
+	var b strings.Builder
+	b.Grow(len(ns) + 1 + len(name))
+	b.WriteString(ns)
+	b.WriteByte('_')
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteProm renders the snapshot in Prometheus text exposition format:
+// counters (with the conventional _total suffix), then gauges, then
+// histograms (cumulative _bucket series plus _sum and _count), each group
+// in sorted name order with HELP/TYPE headers. The output is
+// deterministic for a given snapshot — scrape-to-scrape diffs reflect
+// only instrument changes.
+func WriteProm(w io.Writer, ns string, s *Snapshot) error {
+	if s == nil {
+		return nil
+	}
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := PromName(ns, n) + "_total"
+		if _, err := fmt.Fprintf(w, "# HELP %s %s (counter)\n# TYPE %s counter\n%s %d\n",
+			pn, n, pn, pn, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := PromName(ns, n)
+		if _, err := fmt.Fprintf(w, "# HELP %s %s (gauge)\n# TYPE %s gauge\n%s %s\n",
+			pn, n, pn, pn, promFloat(s.Gauges[n].Cur)); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		pn := PromName(ns, n)
+		if _, err := fmt.Fprintf(w, "# HELP %s %s (histogram)\n# TYPE %s histogram\n", pn, n, pn); err != nil {
+			return err
+		}
+		// Counts are per-bucket; the exposition format wants cumulative
+		// counts with the +Inf bucket equal to _count.
+		var cum uint64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = strconv.FormatUint(h.Bounds[i], 10)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", pn, h.Sum, pn, h.Total); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promFloat renders a float in the exposition format's expected shape.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Delta returns the change from prev to s: counters and histogram
+// buckets/totals subtract (clamping at zero, so an instrument reset reads
+// as its current value rather than underflowing), gauges carry s's
+// current state unchanged. prev may be nil, in which case the result
+// equals s. Neither input is modified. The scrape loop uses this to
+// derive rates (epochs/s, jobs/s) from two registry snapshots.
+func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
+	out := &Snapshot{}
+	if s == nil {
+		return out
+	}
+	if len(s.Counters) > 0 {
+		out.Counters = make(map[string]uint64, len(s.Counters))
+		for n, v := range s.Counters {
+			if prev != nil {
+				if pv, ok := prev.Counters[n]; ok && pv <= v {
+					v -= pv
+				}
+			}
+			out.Counters[n] = v
+		}
+	}
+	if len(s.Gauges) > 0 {
+		out.Gauges = make(map[string]GaugeSnap, len(s.Gauges))
+		for n, g := range s.Gauges {
+			out.Gauges[n] = g
+		}
+	}
+	if len(s.Histograms) > 0 {
+		out.Histograms = make(map[string]HistogramSnap, len(s.Histograms))
+		for n, h := range s.Histograms {
+			d := cloneHistSnap(h)
+			if prev != nil {
+				if ph, ok := prev.Histograms[n]; ok && equalBounds(ph.Bounds, h.Bounds) &&
+					ph.Total <= h.Total && ph.Sum <= h.Sum {
+					for i := range d.Counts {
+						if i < len(ph.Counts) && ph.Counts[i] <= d.Counts[i] {
+							d.Counts[i] -= ph.Counts[i]
+						}
+					}
+					d.Total -= ph.Total
+					d.Sum -= ph.Sum
+				}
+			}
+			out.Histograms[n] = d
+		}
+	}
+	return out
+}

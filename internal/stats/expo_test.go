@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the exposition golden file")
+
+// expoSnapshot builds the fixture rendered against the golden file: one of
+// each instrument kind, with names exercising the character sanitization.
+func expoSnapshot() *Snapshot {
+	r := NewRegistry()
+	r.Counter("obs.jobs.finished").Add(7)
+	r.Counter("mc.retries").Add(3)
+	g := r.Gauge("obs.jobs.inflight")
+	g.Set(5)
+	g.Set(2.5)
+	h := r.Histogram("mc.lat-read.normal", 10, 100, 1000)
+	for _, v := range []uint64{1, 9, 10, 55, 120, 4000} {
+		h.Observe(v)
+	}
+	return r.Snapshot()
+}
+
+// TestWritePromGolden pins the exposition rendering byte-for-byte: family
+// ordering (counters, gauges, histograms — each sorted), HELP/TYPE
+// headers, the _total counter suffix, name sanitization, and cumulative
+// histogram buckets. Regenerate with -update-golden after a deliberate
+// format change.
+func TestWritePromGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, "sam", expoSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition output diverged from golden:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWritePromWellFormed validates the exposition structure on the
+// fixture: every sample line belongs to an announced family, HELP
+// precedes TYPE precedes samples, and histogram buckets are cumulative
+// with the +Inf bucket equal to _count.
+func TestWritePromWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, "sam", expoSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	type family struct {
+		typ     string
+		hasHelp bool
+	}
+	families := map[string]*family{}
+	var bucketCum map[string]uint64 // histogram -> last cumulative bucket count
+	bucketCum = map[string]uint64{}
+	infCount := map[string]uint64{}
+	countVal := map[string]uint64{}
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			name := strings.Fields(line)[2]
+			if families[name] != nil {
+				t.Fatalf("duplicate HELP for %s", name)
+			}
+			families[name] = &family{hasHelp: true}
+		case strings.HasPrefix(line, "# TYPE "):
+			f := strings.Fields(line)
+			name, typ := f[2], f[3]
+			fam := families[name]
+			if fam == nil || !fam.hasHelp {
+				t.Fatalf("TYPE before HELP for %s", name)
+			}
+			fam.typ = typ
+		default:
+			name := line[:strings.IndexAny(line, "{ ")]
+			base := name
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if b, ok := strings.CutSuffix(name, suf); ok {
+					if families[b] != nil && families[b].typ == "histogram" {
+						base = b
+					}
+					break
+				}
+			}
+			fam := families[base]
+			if fam == nil {
+				t.Fatalf("sample %q outside any announced family", line)
+			}
+			if fam.typ == "histogram" && strings.HasSuffix(name, "_bucket") {
+				val, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+				if err != nil {
+					t.Fatalf("bucket value in %q: %v", line, err)
+				}
+				if val < bucketCum[base] {
+					t.Fatalf("non-cumulative bucket in %q: %d < %d", line, val, bucketCum[base])
+				}
+				bucketCum[base] = val
+				if strings.Contains(line, `le="+Inf"`) {
+					infCount[base] = val
+				}
+			}
+			if fam.typ == "histogram" && strings.HasSuffix(name, "_count") {
+				val, _ := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+				countVal[base] = val
+			}
+		}
+	}
+	for base, inf := range infCount {
+		if countVal[base] != inf {
+			t.Errorf("%s: +Inf bucket %d != _count %d", base, inf, countVal[base])
+		}
+	}
+	if len(infCount) == 0 {
+		t.Fatal("fixture rendered no histogram buckets")
+	}
+}
+
+// TestPromName pins the sanitization rule.
+func TestPromName(t *testing.T) {
+	for name, want := range map[string]string{
+		"mc.lat-read.normal": "sam_mc_lat_read_normal",
+		"obs.jobs.inflight":  "sam_obs_jobs_inflight",
+		"plain":              "sam_plain",
+		"a+b/c":              "sam_a_b_c",
+	} {
+		if got := PromName("sam", name); got != want {
+			t.Errorf("PromName(sam, %q) = %q, want %q", name, got, want)
+		}
+	}
+}
+
+// TestSnapshotDelta covers the rate-derivation helper: counters and
+// histograms subtract (clamped at zero on resets), gauges pass through.
+func TestSnapshotDelta(t *testing.T) {
+	prev := &Snapshot{
+		Counters: map[string]uint64{"a": 5, "reset": 100},
+		Histograms: map[string]HistogramSnap{
+			"h": {Bounds: []uint64{10}, Counts: []uint64{2, 1}, Total: 3, Sum: 40},
+		},
+	}
+	cur := &Snapshot{
+		Counters: map[string]uint64{"a": 12, "reset": 30, "new": 4},
+		Gauges:   map[string]GaugeSnap{"g": {Cur: 7}},
+		Histograms: map[string]HistogramSnap{
+			"h": {Bounds: []uint64{10}, Counts: []uint64{5, 2}, Total: 7, Sum: 90},
+		},
+	}
+	d := cur.Delta(prev)
+	if d.Counters["a"] != 7 || d.Counters["new"] != 4 {
+		t.Errorf("counter deltas wrong: %v", d.Counters)
+	}
+	if d.Counters["reset"] != 30 {
+		t.Errorf("reset counter should clamp to current value, got %d", d.Counters["reset"])
+	}
+	if g := d.Gauges["g"]; g.Cur != 7 {
+		t.Errorf("gauge should pass through, got %+v", g)
+	}
+	h := d.Histograms["h"]
+	if h.Total != 4 || h.Sum != 50 || h.Counts[0] != 3 || h.Counts[1] != 1 {
+		t.Errorf("histogram delta wrong: %+v", h)
+	}
+	// cur must be unmodified (Delta clones).
+	if cur.Histograms["h"].Counts[0] != 5 {
+		t.Error("Delta mutated its receiver")
+	}
+	if nilDelta := cur.Delta(nil); nilDelta.Counters["a"] != 12 {
+		t.Error("Delta(nil) should equal the snapshot")
+	}
+}

@@ -2,8 +2,9 @@
 # alloccheck.sh — the allocation-regression gate. Two layers:
 #
 #  1. The exact-zero pins: every *ZeroAllocs* test (internal/ecc codec
-#     Into paths, internal/mc fault-enabled and traced service loops)
-#     asserts 0 allocs/op at steady state via testing.AllocsPerRun.
+#     Into paths, internal/mc fault-enabled and traced service loops,
+#     internal/runner's nil-observer sweep fast path) asserts flat
+#     steady-state allocation via testing.AllocsPerRun.
 #  2. The budget file (scripts/alloc_budget.txt): end-to-end benchmarks
 #     whose allocs/op must stay under a committed ceiling. These cover
 #     the per-run construction cost the pins deliberately exclude.
@@ -17,7 +18,7 @@ cd "$(dirname "$0")/.."
 BUDGET="${1:-scripts/alloc_budget.txt}"
 
 echo "== zero-allocation pins =="
-go test -run 'ZeroAllocs' -count=1 ./internal/ecc ./internal/mc
+go test -run 'ZeroAllocs' -count=1 ./internal/ecc ./internal/mc ./internal/runner
 
 echo "== allocation budgets ($BUDGET) =="
 fail=0

@@ -1,0 +1,323 @@
+// Command obscheck validates the observability plane's three outputs —
+// the /metrics Prometheus exposition, the /progress JSON document, and
+// the JSONL run-lifecycle event log — against the invariants internal/obs
+// guarantees. Sources may be URLs (scraped live) or files (saved
+// artifacts); the CI obs-smoke job uses both, scraping a running samfig
+// mid-sweep and then validating the event log it left behind.
+//
+// Usage:
+//
+//	go run ./scripts/obscheck -wait http://127.0.0.1:9915/healthz \
+//	    -metrics http://127.0.0.1:9915/metrics -require sam_obs_jobs_enqueued_total
+//	go run ./scripts/obscheck -progress progress.json -complete -log obs-events.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"sam/internal/obs"
+)
+
+func main() {
+	wait := flag.String("wait", "", "poll this URL until it answers 200 before validating")
+	waitTimeout := flag.Duration("wait-timeout", 30*time.Second, "give up polling -wait after this long")
+	metrics := flag.String("metrics", "", "validate a Prometheus exposition from this URL or file")
+	require := flag.String("require", "", "comma-separated families that must appear in -metrics")
+	progress := flag.String("progress", "", "validate a /progress JSON document from this URL or file")
+	complete := flag.Bool("complete", false, "with -progress: require every sweep fully done")
+	logPath := flag.String("log", "", "validate a JSONL run-lifecycle event log file")
+	flag.Parse()
+
+	fail := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "obscheck: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if *wait == "" && *metrics == "" && *progress == "" && *logPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *wait != "" {
+		deadline := time.Now().Add(*waitTimeout)
+		for {
+			resp, err := http.Get(*wait)
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					fmt.Printf("obscheck: %s answered 200\n", *wait)
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				fail("%s not healthy within %s (last: %v)", *wait, *waitTimeout, err)
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+	}
+	if *metrics != "" {
+		body, err := fetch(*metrics)
+		if err != nil {
+			fail("metrics: %v", err)
+		}
+		n, err := checkExposition(body, splitList(*require))
+		if err != nil {
+			fail("metrics: %s: %v", *metrics, err)
+		}
+		fmt.Printf("obscheck: %s: OK: %d families\n", *metrics, n)
+	}
+	if *progress != "" {
+		body, err := fetch(*progress)
+		if err != nil {
+			fail("progress: %v", err)
+		}
+		rep, err := checkProgress(body, *complete)
+		if err != nil {
+			fail("progress: %s: %v", *progress, err)
+		}
+		fmt.Printf("obscheck: %s: OK: %d sweeps, %d workers\n", *progress, len(rep.Sweeps), rep.Workers)
+	}
+	if *logPath != "" {
+		f, err := os.Open(*logPath)
+		if err != nil {
+			fail("log: %v", err)
+		}
+		n, err := checkEventLog(f)
+		f.Close()
+		if err != nil {
+			fail("log: %s: %v", *logPath, err)
+		}
+		fmt.Printf("obscheck: %s: OK: %d events\n", *logPath, n)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// fetch reads a URL (http/https) or a file path.
+func fetch(src string) ([]byte, error) {
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		resp, err := http.Get(src)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("status %s", resp.Status)
+		}
+		return io.ReadAll(resp.Body)
+	}
+	return os.ReadFile(src)
+}
+
+// checkExposition validates Prometheus text-format invariants: HELP
+// before TYPE before samples, every sample inside an announced family,
+// parseable values, cumulative histogram buckets with +Inf == _count,
+// and the presence of each required family. Returns the family count.
+func checkExposition(body []byte, required []string) (int, error) {
+	type family struct {
+		typ     string
+		samples int
+	}
+	families := map[string]*family{}
+	lastBucket := map[string]uint64{}
+	infBucket := map[string]uint64{}
+	countVal := map[string]uint64{}
+	for ln, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		switch {
+		case line == "":
+			return 0, fmt.Errorf("line %d: blank line in exposition", ln+1)
+		case strings.HasPrefix(line, "# HELP "):
+			name := strings.Fields(line)[2]
+			if families[name] != nil {
+				return 0, fmt.Errorf("line %d: duplicate HELP for %s", ln+1, name)
+			}
+			families[name] = &family{}
+		case strings.HasPrefix(line, "# TYPE "):
+			f := strings.Fields(line)
+			if len(f) < 4 {
+				return 0, fmt.Errorf("line %d: malformed TYPE", ln+1)
+			}
+			fam := families[f[2]]
+			if fam == nil {
+				return 0, fmt.Errorf("line %d: TYPE before HELP for %s", ln+1, f[2])
+			}
+			fam.typ = f[3]
+		default:
+			cut := strings.IndexAny(line, "{ ")
+			if cut <= 0 {
+				return 0, fmt.Errorf("line %d: malformed sample %q", ln+1, line)
+			}
+			name := line[:cut]
+			valStr := line[strings.LastIndexByte(line, ' ')+1:]
+			if _, err := strconv.ParseFloat(valStr, 64); err != nil {
+				return 0, fmt.Errorf("line %d: bad value %q: %v", ln+1, valStr, err)
+			}
+			base := name
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if b, ok := strings.CutSuffix(name, suf); ok && families[b] != nil && families[b].typ == "histogram" {
+					base = b
+					break
+				}
+			}
+			fam := families[base]
+			if fam == nil || fam.typ == "" {
+				return 0, fmt.Errorf("line %d: sample %q outside any announced family", ln+1, name)
+			}
+			fam.samples++
+			if fam.typ == "histogram" {
+				v, _ := strconv.ParseUint(valStr, 10, 64)
+				switch {
+				case strings.HasSuffix(name, "_bucket"):
+					if v < lastBucket[base] {
+						return 0, fmt.Errorf("line %d: non-cumulative bucket for %s (%d < %d)", ln+1, base, v, lastBucket[base])
+					}
+					lastBucket[base] = v
+					if strings.Contains(line, `le="+Inf"`) {
+						infBucket[base] = v
+					}
+				case strings.HasSuffix(name, "_count"):
+					countVal[base] = v
+				}
+			}
+		}
+	}
+	for base, inf := range infBucket {
+		if countVal[base] != inf {
+			return 0, fmt.Errorf("%s: +Inf bucket %d != _count %d", base, inf, countVal[base])
+		}
+	}
+	for name, fam := range families {
+		if fam.typ == "" {
+			return 0, fmt.Errorf("%s: HELP without TYPE", name)
+		}
+		if fam.samples == 0 {
+			return 0, fmt.Errorf("%s: family with no samples", name)
+		}
+	}
+	for _, want := range required {
+		if families[want] == nil {
+			return 0, fmt.Errorf("required family %s missing", want)
+		}
+	}
+	return len(families), nil
+}
+
+// checkProgress validates the /progress document: consistent per-sweep
+// arithmetic, and (with complete) every sweep finished.
+func checkProgress(body []byte, complete bool) (*obs.Report, error) {
+	var rep obs.Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return nil, err
+	}
+	for _, sw := range rep.Sweeps {
+		if sw.Queued+sw.Running+sw.Done != sw.Total {
+			return nil, fmt.Errorf("sweep %s: queued %d + running %d + done %d != total %d",
+				sw.Sweep, sw.Queued, sw.Running, sw.Done, sw.Total)
+		}
+		if complete && (sw.Done != sw.Total || sw.Running != 0) {
+			return nil, fmt.Errorf("sweep %s incomplete: %d/%d done, %d running",
+				sw.Sweep, sw.Done, sw.Total, sw.Running)
+		}
+	}
+	if complete && len(rep.Sweeps) == 0 {
+		return nil, fmt.Errorf("no sweeps in a supposedly complete report")
+	}
+	return &rep, nil
+}
+
+// checkEventLog validates the JSONL lifecycle stream: every start is
+// matched by exactly one finish/fail, timestamps are monotonically
+// non-decreasing, and the log closes with a summary whose per-sweep
+// tallies match the events above it. Returns the event count.
+func checkEventLog(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	type jobKey struct {
+		sweep string
+		job   int
+	}
+	open := map[jobKey]bool{}
+	done := map[string]int{}
+	failed := map[string]int{}
+	enqueued := map[string]int{}
+	var summary *obs.SummaryEvent
+	var lastT int64
+	n := 0
+	for sc.Scan() {
+		n++
+		var e obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return 0, fmt.Errorf("event %d: %v", n, err)
+		}
+		if e.T < lastT {
+			return 0, fmt.Errorf("event %d: timestamp went backwards (%d < %d)", n, e.T, lastT)
+		}
+		lastT = e.T
+		if summary != nil {
+			return 0, fmt.Errorf("event %d: events after the summary", n)
+		}
+		k := jobKey{e.Sweep, e.Job}
+		switch e.Ev {
+		case "enqueue":
+			enqueued[e.Sweep] += e.Jobs
+		case "start":
+			if open[k] {
+				return 0, fmt.Errorf("event %d: job %s/%d started twice", n, e.Sweep, e.Job)
+			}
+			open[k] = true
+		case "finish", "fail":
+			if !open[k] {
+				return 0, fmt.Errorf("event %d: job %s/%d %sed without starting", n, e.Sweep, e.Job, e.Ev)
+			}
+			delete(open, k)
+			if e.RunNS < 0 || e.QueueNS < 0 {
+				return 0, fmt.Errorf("event %d: negative duration", n)
+			}
+			done[e.Sweep]++
+			if e.Ev == "fail" {
+				failed[e.Sweep]++
+			}
+		case "annotate", "stall":
+			// free-form; nothing to cross-check
+		case "summary":
+			summary = e.Summary
+		default:
+			return 0, fmt.Errorf("event %d: unknown event type %q", n, e.Ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if len(open) != 0 {
+		return 0, fmt.Errorf("%d jobs started but never finished", len(open))
+	}
+	if summary == nil {
+		return 0, fmt.Errorf("log has no summary event")
+	}
+	for _, sw := range summary.Sweeps {
+		if sw.Done != done[sw.Sweep] || sw.Failed != failed[sw.Sweep] {
+			return 0, fmt.Errorf("summary for %s (done %d failed %d) disagrees with events (done %d failed %d)",
+				sw.Sweep, sw.Done, sw.Failed, done[sw.Sweep], failed[sw.Sweep])
+		}
+		if got := enqueued[sw.Sweep]; got != sw.Jobs {
+			return 0, fmt.Errorf("summary for %s: %d jobs, events enqueued %d", sw.Sweep, sw.Jobs, got)
+		}
+	}
+	return n, nil
+}

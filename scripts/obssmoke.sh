@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# obssmoke.sh — end-to-end check of the live observability plane. Runs a
+# small fig12 sweep with -obs-listen/-obs-log, scrapes /metrics and
+# /progress from the live process mid-run, then validates the JSONL
+# run-lifecycle event log the run leaves behind. CI runs this as the
+# obs-smoke job and uploads the event log as an artifact; run it locally
+# after touching internal/obs or the runner instrumentation hooks.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="127.0.0.1:${OBS_PORT:-9915}"
+LOG="${1:-obs-events.jsonl}"
+
+go build -o samfig ./cmd/samfig
+go build -o obscheck ./scripts/obscheck
+
+# Serial workers stretch the small sweep to ~5s — a comfortable window
+# for the mid-run scrape without slowing CI meaningfully.
+./samfig -exp fig12 -small -workers 1 -obs-listen "$ADDR" -obs-log "$LOG" \
+    > fig12-obs.txt 2> samfig-obs.err &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+echo "== wait for the plane to come up =="
+./obscheck -wait "http://$ADDR/healthz" -wait-timeout 30s
+
+echo "== mid-run scrape =="
+./obscheck \
+    -metrics "http://$ADDR/metrics" \
+    -require sam_obs_jobs_enqueued_total,sam_obs_job_run_ns,sam_obs_job_queue_ns,sam_obs_jobs_inflight \
+    -progress "http://$ADDR/progress"
+
+wait "$PID"
+trap - EXIT
+sed -n '1,5p' samfig-obs.err
+
+echo "== event log =="
+./obscheck -log "$LOG"
+
+# The observed run must still produce the figure (obs is one-way).
+test -s fig12-obs.txt || { echo "FAIL: observed run produced no figure" >&2; exit 1; }
+echo "obs smoke OK ($LOG)"
