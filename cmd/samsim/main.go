@@ -35,13 +35,10 @@ import (
 )
 
 func kindByName(name string) (design.Kind, error) {
-	all := append([]design.Kind{design.Baseline, design.Ideal}, design.AllEvaluated()...)
-	for _, k := range all {
-		if k.String() == name {
-			return k, nil
-		}
+	if k, ok := core.KindByName(name); ok {
+		return k, nil
 	}
-	return 0, fmt.Errorf("unknown design %q (try baseline, ideal, SAM-sub, SAM-IO, SAM-en, GS-DRAM, GS-DRAM-ecc, RC-NVM-bit, RC-NVM-wd)", name)
+	return 0, fmt.Errorf("unknown design %q (try %s)", name, strings.Join(core.KindNames(), ", "))
 }
 
 func main() {

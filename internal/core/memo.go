@@ -69,6 +69,14 @@ func (m *Memo) RunOneObserved(kind design.Kind, opts design.Options, w Workload,
 	return m.runBench(kind, opts, w, q, nil)
 }
 
+// RunOneFaultedObserved is the cached, outcome-exposing form of
+// RunOneFaulted: the fault model is part of the fingerprint (an inactive
+// or nil model collides with the fault-free key), so fault campaigns and
+// the samd daemon's fault-enabled bench jobs share the cache safely.
+func (m *Memo) RunOneFaultedObserved(kind design.Kind, opts design.Options, w Workload, q BenchQuery, fm *sim.FaultModel) (*sim.QueryResult, memo.Outcome, error) {
+	return m.runBench(kind, opts, w, q, fm)
+}
+
 // runBench caches a benchmark-shaped run (both tables loaded, optional
 // fault model) under its canonical fingerprint.
 func (m *Memo) runBench(kind design.Kind, opts design.Options, w Workload, q BenchQuery, fm *sim.FaultModel) (*sim.QueryResult, memo.Outcome, error) {

@@ -1,0 +1,47 @@
+package core
+
+import "sam/internal/design"
+
+// Name resolution for the external entry points (cmd/samsim, the samd
+// daemon): every design kind and Table 3 benchmark query is addressable
+// by the exact name the paper (and every figure table) prints.
+
+// AllKinds returns every addressable design point: the normalization
+// baseline, the per-query ideal, and the evaluated designs in paper
+// order.
+func AllKinds() []design.Kind {
+	return append([]design.Kind{design.Baseline, design.Ideal}, design.AllEvaluated()...)
+}
+
+// KindByName resolves a design name ("baseline", "SAM-en", "GS-DRAM-ecc",
+// ...) to its kind. Matching is exact — the API layers reject anything
+// else rather than guess.
+func KindByName(name string) (design.Kind, bool) {
+	for _, k := range AllKinds() {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return design.Baseline, false
+}
+
+// KindNames lists every addressable design name, for error messages and
+// usage strings.
+func KindNames() []string {
+	kinds := AllKinds()
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = k.String()
+	}
+	return names
+}
+
+// BenchQueryByName resolves a Table 3 query name (Q1..Q12, Qs1..Qs6).
+func BenchQueryByName(name string) (BenchQuery, bool) {
+	for _, q := range Benchmark() {
+		if q.Name == name {
+			return q, true
+		}
+	}
+	return BenchQuery{}, false
+}

@@ -226,6 +226,27 @@ func (c *Cache[V]) Do(key string, compute func() (V, error)) (V, Outcome, error)
 	return res.val, res.out, nil
 }
 
+// Lookup probes both tiers without computing: a memory hit counts as
+// Hit, a disk hit is promoted and counted as DiskHit, and an absent key
+// returns ok=false WITHOUT counting a miss — the caller is expected to
+// follow up with Do, which accounts for the computation. This is the
+// admission-time probe the samd daemon uses to serve a repeated job
+// submission instantly instead of occupying a queue slot.
+func (c *Cache[V]) Lookup(key string) (V, Outcome, bool) {
+	if v, ok := c.lookup(key); ok {
+		return v, Hit, true
+	}
+	if v, enc, ok := c.diskLoad(key); ok {
+		c.insert(key, v, enc, false)
+		c.mu.Lock()
+		c.diskHits.Inc()
+		c.mu.Unlock()
+		return v, DiskHit, true
+	}
+	var zero V
+	return zero, Miss, false
+}
+
 // Get returns the value for key from the in-process tier only, without
 // counting a lookup (a peek for tests and diagnostics).
 func (c *Cache[V]) Get(key string) (V, bool) {

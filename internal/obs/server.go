@@ -55,6 +55,14 @@ func (s *Server) AddSource(fn func() *stats.Snapshot) {
 // surface with httptest instead of a real socket).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	s.AttachTo(mux)
+	return mux
+}
+
+// AttachTo registers the telemetry endpoints on an existing mux — the
+// seam that lets a host daemon (cmd/samd) serve /metrics, /progress,
+// /healthz, and /debug/pprof alongside its own API on one listener.
+func (s *Server) AttachTo(mux *http.ServeMux) {
 	mux.HandleFunc("/metrics", s.metrics)
 	mux.HandleFunc("/progress", s.progress)
 	mux.HandleFunc("/healthz", s.healthz)
@@ -63,7 +71,6 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
 }
 
 // merged snapshots the tracker and every source into one Snapshot, then
